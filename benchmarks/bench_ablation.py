@@ -1,0 +1,53 @@
+"""Ablations: the microarchitectural mechanisms DESIGN.md calls out.
+
+Quantifies what Section 4's machinery buys on a stream-heavy workload:
+
+* *all-requests-in-flight* (Section 4.2): overlapping back-to-back streams
+  on the same port instead of serialising on delivery.
+* the *balance unit* (Section 4.5): fair request scheduling across vector
+  ports in the memory read engine.
+"""
+
+from conftest import record
+
+from repro.sim import SoftbrainParams
+from repro.workloads.common import run_and_verify
+from repro.workloads.dnn import build_classifier
+from repro.workloads.dnn.layers import ClassifierLayer
+from repro.workloads.machsuite import build_stencil2d
+
+
+def _cycles(build, **flags):
+    built = build()
+    params = SoftbrainParams(**flags)
+    return run_and_verify(built, params=params).cycles
+
+
+def test_ablation_all_requests_in_flight(benchmark):
+    build = lambda: build_classifier(ClassifierLayer("abl", ni=512, nn=16))
+    full = benchmark.pedantic(
+        lambda: _cycles(build), rounds=1, iterations=1
+    )
+    ablated = _cycles(build, all_requests_in_flight=False)
+    record(
+        "Ablation: all-requests-in-flight (classifier, 512x16)",
+        f"full design: {full} cycles\n"
+        f"without all-requests-in-flight: {ablated} cycles\n"
+        f"slowdown: {ablated / full:.2f}x",
+    )
+    assert ablated >= full  # the optimisation never hurts
+
+
+def test_ablation_balance_unit(benchmark):
+    build = lambda: build_stencil2d(width=34, height=18)
+    full = benchmark.pedantic(lambda: _cycles(build), rounds=1, iterations=1)
+    ablated = _cycles(build, balance_unit=False)
+    record(
+        "Ablation: balance unit (stencil2d, 34x18)",
+        f"full design: {full} cycles\n"
+        f"round-robin instead of balance scoring: {ablated} cycles\n"
+        f"delta: {ablated / full:.2f}x",
+    )
+    # Correctness holds either way (run_and_verify checked); the balance
+    # unit exists primarily for deadlock avoidance under port imbalance.
+    assert ablated > 0

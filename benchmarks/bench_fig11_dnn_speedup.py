@@ -1,0 +1,25 @@
+"""Figure 11: GPU / DianNao / Softbrain speedups over CPU on DNN layers."""
+
+from conftest import record
+
+from repro.experiments import format_figure11, geomean
+
+
+def test_fig11_dnn_speedup(benchmark, dnn_rows):
+    text = benchmark(format_figure11, dnn_rows)
+    record("Figure 11: DNN workload speedups over CPU", text)
+
+    gpu = geomean([r.gpu_speedup for r in dnn_rows])
+    diannao = geomean([r.diannao_speedup for r in dnn_rows])
+    softbrain = geomean([r.softbrain_speedup for r in dnn_rows])
+    # Shape: GPU lowest; DianNao and Softbrain an order of magnitude up.
+    assert gpu < softbrain
+    assert gpu < diannao
+    assert softbrain > 10
+    # Softbrain keeps DianNao in sight (same basic algorithm, Section 7.1).
+    assert diannao / softbrain < 4
+    # The pooling advantage goes to Softbrain (paper's explicit claim).
+    pools = [r for r in dnn_rows if r.layer.startswith("pool")]
+    assert geomean([r.softbrain_speedup for r in pools]) > geomean(
+        [r.diannao_speedup for r in pools]
+    )

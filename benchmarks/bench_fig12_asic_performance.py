@@ -1,0 +1,18 @@
+"""Figure 12: Softbrain vs iso-performance ASIC speedup over OOO4."""
+
+from conftest import record
+
+from repro.experiments import format_figure12, geomean
+
+
+def test_fig12_asic_performance(benchmark, machsuite_rows):
+    text = benchmark(format_figure12, machsuite_rows)
+    record("Figure 12: speedup relative to OOO4", text)
+
+    sb = [r.softbrain_speedup for r in machsuite_rows]
+    asic = [r.asic_speedup for r in machsuite_rows]
+    # Paper: both land in roughly the 1-7x band over the OOO4 core.
+    assert 1.0 < geomean(sb) < 8.0
+    assert 1.0 < geomean(asic) < 10.0
+    # Iso-performance selection keeps the ASIC within small factors.
+    assert geomean(asic) / geomean(sb) < 3.0

@@ -1,0 +1,16 @@
+"""Figure 14: energy efficiency relative to OOO4."""
+
+from conftest import record
+
+from repro.experiments import format_figure14, geomean
+
+
+def test_fig14_energy_efficiency(benchmark, machsuite_rows):
+    text = benchmark(format_figure14, machsuite_rows)
+    record("Figure 14: energy efficiency relative to OOO4", text)
+
+    sb = geomean([r.softbrain_energy_eff for r in machsuite_rows])
+    asic = geomean([r.asic_energy_eff for r in machsuite_rows])
+    assert sb > 100  # orders of magnitude beyond the CPU
+    # Paper: Softbrain's energy within a small factor of the ASICs'.
+    assert asic / sb < 4.0

@@ -1,0 +1,18 @@
+"""Figure 15: ASIC area relative to Softbrain."""
+
+from conftest import record
+
+from repro.experiments import format_figure15, geomean
+from repro.power import softbrain_area_mm2
+
+
+def test_fig15_area_comparison(benchmark, machsuite_rows):
+    text = benchmark(format_figure15, machsuite_rows)
+    record("Figure 15: ASIC area relative to Softbrain", text)
+
+    ratios = [r.asic_area_ratio for r in machsuite_rows]
+    # Paper: mean Softbrain area ~8x a single ASIC...
+    assert 4 < 1 / geomean(ratios) < 16
+    # ...but one Softbrain replaces all eight ASICs at comparable total area.
+    total = sum(r.asic.area_mm2 for r in machsuite_rows)
+    assert total / softbrain_area_mm2() > 0.75

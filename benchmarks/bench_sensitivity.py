@@ -1,0 +1,58 @@
+"""Design-parameter sensitivity sweeps (provisioning-choice ablations).
+
+Shows what the hardware knobs of Sections 3.3/4 actually buy: vector-port
+depth (latency tolerance), DRAM bandwidth (the streaming ceiling) and
+stream-table size (concurrent streams).
+"""
+
+from conftest import record
+
+from repro.cgra import dnn_provisioned
+from repro.experiments import (
+    format_sweep,
+    sweep_dram_bandwidth,
+    sweep_port_depth,
+    sweep_stream_table,
+)
+from repro.workloads.dnn import build_classifier
+from repro.workloads.dnn.layers import ClassifierLayer
+from repro.workloads.machsuite import build_gemm, build_spmv_crs
+
+
+def _classifier(fabric=None):
+    layer = ClassifierLayer("sweep", ni=256, nn=16)
+    if fabric is None:
+        return build_classifier(layer)
+    return build_classifier(layer, fabric=fabric)
+
+
+def test_sensitivity_port_depth(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep_port_depth(_classifier, dnn_provisioned),
+        rounds=1, iterations=1,
+    )
+    record("Sensitivity: vector-port depth (classifier)", format_sweep(result))
+    # Deeper ports tolerate memory latency: the shallowest point must be
+    # measurably worse than the best.
+    assert result.points[0].cycles >= result.best.cycles
+    assert result.spread > 1.02
+
+
+def test_sensitivity_dram_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep_dram_bandwidth(_classifier),
+        rounds=1, iterations=1,
+    )
+    record("Sensitivity: DRAM bandwidth (classifier)", format_sweep(result))
+    # The classifier is synapse-bandwidth-bound: throttling DRAM by 32x
+    # must slow it down by a large factor.
+    assert result.points[-1].cycles > 2 * result.points[0].cycles
+
+
+def test_sensitivity_stream_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep_stream_table(lambda **kw: build_spmv_crs(**kw)),
+        rounds=1, iterations=1,
+    )
+    record("Sensitivity: stream-table size (spmv-crs)", format_sweep(result))
+    assert result.best.cycles <= result.points[0].cycles

@@ -1,0 +1,13 @@
+"""Table 1: architectural specialization capability matrix."""
+
+from conftest import record
+
+from repro.experiments import capability_scores, format_table1
+
+
+def test_table1_capabilities(benchmark):
+    text = benchmark(format_table1)
+    record("Table 1: architectural specialization capabilities", text)
+    scores = {s.architecture: s.score for s in capability_scores()}
+    # Stream-dataflow must dominate the matrix, as the paper argues.
+    assert scores["Stream-Dataflow"] == max(scores.values())

@@ -1,0 +1,13 @@
+"""Table 3: Softbrain vs DianNao area/power breakdown (55 nm)."""
+
+from conftest import record
+
+from repro.experiments import format_table3, table3
+
+
+def test_table3_area_power(benchmark):
+    data = benchmark(table3)
+    record("Table 3: area and power breakdown", format_table3(data))
+    # Headline overheads from the abstract: ~1.74x area, ~2.28x power.
+    assert 1.5 < data.area_overhead < 2.0
+    assert 2.0 < data.power_overhead < 2.6

@@ -1,0 +1,19 @@
+"""Table 4: MachSuite characterisation on stream-dataflow."""
+
+from conftest import record
+
+from repro.experiments import format_table4, table4_rows
+
+
+def test_table4_generality(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table4_rows(include_extensions=True), rounds=1, iterations=1
+    )
+    record("Table 4: workload characterisation", format_table4(rows))
+    by_name = {r.name: r for r in rows}
+    # Spot-check the paper's rows.
+    assert "Indirect Loads" in by_name["bfs"].patterns
+    assert "Recurrence" in by_name["gemm"].patterns
+    assert by_name["spmv-crs"].datapath == "Single Multiply-Accumulate"
+    assert by_name["viterbi"].datapath == "4-Way Add-Minimize Tree"
+    assert len(rows) == 11  # the paper's eight + three extensions

@@ -1,0 +1,43 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+The MachSuite comparison (simulate 8 workloads + 20-point ASIC sweeps) is
+the expensive step behind Figures 12-15; it runs once per session and the
+four figure benchmarks derive their series from the cached rows.  Every
+benchmark appends its rendered table to ``benchmarks/results.txt`` so a
+full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
+reproduction of the paper's evaluation on disk.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def machsuite_rows():
+    from repro.experiments import machsuite_comparison
+
+    return machsuite_comparison()
+
+
+@pytest.fixture(scope="session")
+def dnn_rows():
+    from repro.experiments import dnn_comparison
+
+    return dnn_comparison()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+def record(title: str, text: str) -> None:
+    """Print a rendered table and append it to the results file."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n"
+    print(block)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(block)

@@ -1,0 +1,37 @@
+"""Indirect streams: sparse matrix-vector multiply (MachSuite spmv-crs).
+
+Demonstrates the indirect-access half of the ISA: column indices stream
+into an *indirect port*, an ``SD_IndPort_Port`` gather fetches the matching
+vector elements (the AGU coalescing up to four same-line addresses per
+request), and a single multiply-accumulate datapath reduces each row.
+
+Run:  python examples/spmv_indirect.py
+"""
+
+from repro.workloads.characterization import characterize
+from repro.workloads.common import run_and_verify
+from repro.workloads.machsuite import build_spmv_crs
+
+
+def main() -> None:
+    built = build_spmv_crs(n=48)
+    row = characterize(built)
+    print(f"workload: {row.name}")
+    print(f"stream patterns used: {', '.join(row.patterns)}")
+    print(f"datapath: {row.datapath}  (Table 4's spmv-crs row)\n")
+
+    result = run_and_verify(built)
+    nnz = built.meta["nnz"]
+    print(f"verified {built.meta['n']} rows ({nnz} non-zeros) "
+          f"in {result.cycles} cycles")
+    print(f"  {result.stats.instances_fired} multiply-accumulate instances")
+    print(f"  memory requests: {result.memory.stats.requests} "
+          f"({result.memory.stats.hits} L2 hits, "
+          f"{result.memory.stats.misses} misses)")
+    gather_efficiency = nnz / result.memory.stats.reads
+    print(f"  ~{gather_efficiency:.1f} elements per read request "
+          f"(indirect-AGU coalescing at work)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works without network access.
+
+The environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs cannot build; this shim lets pip fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Stream-Dataflow Acceleration (Softbrain) — a full-stack reproduction.
+
+Reproduces "Stream-Dataflow Acceleration" (Nowatzki et al., ISCA 2017):
+the architecture abstractions (:mod:`repro.core`), the CGRA hardware model
+(:mod:`repro.cgra`), the cycle-level Softbrain simulator (:mod:`repro.sim`),
+the power/area accounting (:mod:`repro.power`), the comparison baselines
+(:mod:`repro.baselines`), the workloads (:mod:`repro.workloads`) and the
+per-table/figure experiment harnesses (:mod:`repro.experiments`).
+
+Typical flow::
+
+    from repro.cgra import dnn_provisioned
+    from repro.core.compiler import schedule
+    from repro.core.dfg import parse_dfg
+    from repro.core.isa import StreamProgram
+    from repro.sim import MemorySystem, run_program
+
+    config = schedule(parse_dfg(text), dnn_provisioned())
+    program = StreamProgram("kernel", config)
+    # ... Table 2 intrinsics: program.mem_port(...), program.barrier_all()
+    result = run_program(program, fabric=config.fabric, memory=MemorySystem())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "cgra",
+    "core",
+    "experiments",
+    "power",
+    "sim",
+    "workloads",
+]

@@ -1,0 +1,143 @@
+"""Command-line interface: run workloads and regenerate evaluation artefacts.
+
+Usage::
+
+    python -m repro list                      # available workloads/experiments
+    python -m repro run gemm                  # simulate + verify one workload
+    python -m repro run class1p --units 8     # a DNN layer, 8-unit partition
+    python -m repro table1|table3|table4      # render a table
+    python -m repro fig11|fig12|fig13|fig14|fig15
+    python -m repro timeline dotprod          # Figure 4(b)-style timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list(_args) -> int:
+    from .workloads.dnn.layers import DNN_LAYERS
+    from .workloads.machsuite import MACHSUITE
+
+    print("DNN layers (Figure 11):")
+    for layer in DNN_LAYERS:
+        print(f"  {layer.name:<14} {layer.kind}")
+    print("\nMachSuite kernels (Figures 12-15, Table 4):")
+    for name in MACHSUITE:
+        print(f"  {name}")
+    print("\nexperiments: table1 table3 table4 fig11 fig12 fig13 fig14 fig15")
+    return 0
+
+
+def _build_workload(name: str, units: int):
+    from .workloads.dnn.layers import DNN_LAYERS_BY_NAME
+    from .workloads.machsuite import MACHSUITE
+
+    if name in DNN_LAYERS_BY_NAME:
+        from .workloads.dnn import build_dnn_layer
+
+        return build_dnn_layer(name, unit_id=0, num_units=units)
+    if name in MACHSUITE:
+        return MACHSUITE[name][0]()
+    raise SystemExit(f"unknown workload {name!r}; try 'python -m repro list'")
+
+
+def _cmd_run(args) -> int:
+    from .power import estimate_power
+    from .workloads.common import run_and_verify
+
+    built = _build_workload(args.workload, args.units)
+    started = time.time()
+    result = run_and_verify(built)
+    wall = time.time() - started
+    power = estimate_power(result, built.fabric)
+    print(f"{built.name}: verified OK")
+    print(f"  cycles:            {result.cycles}")
+    print(f"  instances fired:   {result.stats.instances_fired}")
+    print(f"  CGRA ops:          {result.stats.ops_executed} "
+          f"({result.stats.ops_per_cycle:.2f}/cycle)")
+    print(f"  commands issued:   {result.stats.commands_issued}")
+    print(f"  memory traffic:    {result.memory.stats.bytes_read} B read / "
+          f"{result.memory.stats.bytes_written} B written")
+    print(f"  estimated power:   {power.total_mw:.1f} mW (one unit)")
+    print(f"  simulated in {wall:.2f}s wall clock")
+    if args.power:
+        print()
+        print(power.table())
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .sim import render_timeline
+    from .sim.softbrain import run_program
+    from .workloads.common import run_and_verify
+
+    built = _build_workload(args.workload, 1)
+    result = run_and_verify(built)
+    print(render_timeline(result.timeline, width=args.width))
+    return 0
+
+
+def _cmd_table(name: str) -> int:
+    from . import experiments as exp
+
+    if name == "table1":
+        print(exp.format_table1())
+    elif name == "table3":
+        print(exp.format_table3(exp.table3()))
+    elif name == "table4":
+        print(exp.format_table4(exp.table4_rows(include_extensions=True)))
+    elif name == "fig11":
+        print(exp.format_figure11(exp.dnn_comparison()))
+    else:
+        rows = exp.machsuite_comparison()
+        formatter = {
+            "fig12": exp.format_figure12,
+            "fig13": exp.format_figure13,
+            "fig14": exp.format_figure14,
+            "fig15": exp.format_figure15,
+        }[name]
+        print(formatter(rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Stream-dataflow (Softbrain) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    run_parser = sub.add_parser("run", help="simulate and verify a workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--units", type=int, default=1,
+                            help="partition DNN layers across N units")
+    run_parser.add_argument("--power", action="store_true",
+                            help="print the per-component power breakdown")
+
+    timeline_parser = sub.add_parser(
+        "timeline", help="render a command-lifetime timeline"
+    )
+    timeline_parser.add_argument("workload")
+    timeline_parser.add_argument("--width", type=int, default=72)
+
+    for table in ("table1", "table3", "table4",
+                  "fig11", "fig12", "fig13", "fig14", "fig15"):
+        sub.add_parser(table, help=f"render {table}")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    return _cmd_table(args.command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

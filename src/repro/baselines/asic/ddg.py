@@ -1,0 +1,208 @@
+"""Dynamic data-dependence graphs (DDGs) — the heart of mini-Aladdin.
+
+Aladdin (Shao et al., ISCA'14) estimates fixed-function accelerator
+performance pre-RTL by executing the kernel once, recording every dynamic
+operation and its data/memory dependences, then scheduling that graph under
+candidate hardware constraints.  :class:`TraceBuilder` is our equivalent of
+the instrumented execution: reference kernels are written against it (the
+code reads like the original C loop nest) and it emits the dependence graph
+as a side effect while computing real values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: op kind -> (latency cycles, dynamic energy pJ at 55 nm)
+OP_COSTS: Dict[str, Tuple[int, float]] = {
+    "load": (2, 1.20),
+    "store": (2, 1.50),
+    "add": (1, 0.10),
+    "mul": (3, 0.80),
+    "div": (18, 2.40),
+    "cmp": (1, 0.05),
+    "shift": (1, 0.05),
+    "logic": (1, 0.03),
+    "special": (2, 0.40),  # sigmoid-class lookup units
+}
+
+#: which schedulable resource class each op consumes
+OP_RESOURCE: Dict[str, str] = {
+    "load": "mem",
+    "store": "mem",
+    "add": "alu",
+    "cmp": "alu",
+    "shift": "alu",
+    "logic": "alu",
+    "mul": "mul",
+    "div": "div",
+    "special": "special",
+}
+
+
+@dataclass
+class DdgNode:
+    """One dynamic operation."""
+
+    node_id: int
+    kind: str
+    deps: Tuple[int, ...]
+    array: Optional[str] = None  # for load/store: which array it touches
+    index: int = 0  # element index within the array (for partitioning)
+
+    @property
+    def latency(self) -> int:
+        return OP_COSTS[self.kind][0]
+
+    @property
+    def energy_pj(self) -> float:
+        return OP_COSTS[self.kind][1]
+
+    @property
+    def resource(self) -> str:
+        return OP_RESOURCE[self.kind]
+
+
+class Ddg:
+    """A complete dynamic dependence graph plus array metadata."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[DdgNode] = []
+        self.arrays: Dict[str, int] = {}  # array name -> element count
+
+    def add(self, kind: str, deps: Sequence[int], array: Optional[str] = None,
+            index: int = 0) -> int:
+        if kind not in OP_COSTS:
+            raise KeyError(f"unknown DDG op kind {kind!r}")
+        node_id = len(self.nodes)
+        self.nodes.append(DdgNode(node_id, kind, tuple(deps), array, index))
+        return node_id
+
+    def declare_array(self, name: str, elements: int) -> None:
+        self.arrays[name] = elements
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.nodes)
+
+    def op_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for node in self.nodes:
+            histogram[node.kind] = histogram.get(node.kind, 0) + 1
+        return histogram
+
+    def total_energy_pj(self) -> float:
+        return sum(node.energy_pj for node in self.nodes)
+
+    def critical_path(self) -> int:
+        """Longest latency-weighted dependence chain (min possible cycles)."""
+        finish = [0] * len(self.nodes)
+        for node in self.nodes:
+            start = max((finish[d] for d in node.deps), default=0)
+            finish[node.node_id] = start + node.latency
+        return max(finish, default=0)
+
+
+class TracedValue:
+    """A concrete value carrying its producer node id through the kernel."""
+
+    __slots__ = ("value", "node")
+
+    def __init__(self, value: int, node: int) -> None:
+        self.value = value
+        self.node = node
+
+
+class TraceBuilder:
+    """Instrumented-execution facade: compute values, record the DDG.
+
+    Memory dependence policy: loads depend on the last store to the same
+    array element; stores depend on the last access (read or write) to the
+    element — i.e. exact dynamic memory disambiguation, which is what
+    Aladdin's trace gives it.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.ddg = Ddg(name)
+        self._arrays: Dict[str, List[int]] = {}
+        self._last_store: Dict[Tuple[str, int], int] = {}
+        self._last_access: Dict[Tuple[str, int], int] = {}
+
+    # -- arrays ---------------------------------------------------------------
+
+    def array(self, name: str, initial: Sequence[int]) -> None:
+        """Declare an array with initial contents."""
+        self._arrays[name] = list(initial)
+        self.ddg.declare_array(name, len(initial))
+
+    def array_values(self, name: str) -> List[int]:
+        """Final contents (for checking the traced kernel computed correctly)."""
+        return list(self._arrays[name])
+
+    # -- traced operations ------------------------------------------------------
+
+    def const(self, value: int) -> TracedValue:
+        return TracedValue(value, -1)
+
+    def load(self, name: str, index: int) -> TracedValue:
+        deps = []
+        store = self._last_store.get((name, index))
+        if store is not None:
+            deps.append(store)
+        node = self.ddg.add("load", deps, array=name, index=index)
+        self._last_access[(name, index)] = node
+        return TracedValue(self._arrays[name][index], node)
+
+    def store(self, name: str, index: int, value: TracedValue) -> None:
+        deps = [value.node] if value.node >= 0 else []
+        prior = self._last_access.get((name, index))
+        if prior is not None:
+            deps.append(prior)
+        node = self.ddg.add("store", deps, array=name, index=index)
+        self._arrays[name][index] = value.value
+        self._last_store[(name, index)] = node
+        self._last_access[(name, index)] = node
+
+    def _binop(self, kind: str, fn, a: TracedValue, b: TracedValue) -> TracedValue:
+        deps = [v.node for v in (a, b) if v.node >= 0]
+        node = self.ddg.add(kind, deps)
+        return TracedValue(fn(a.value, b.value), node)
+
+    def add(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("add", lambda x, y: x + y, a, b)
+
+    def sub(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("add", lambda x, y: x - y, a, b)
+
+    def mul(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("mul", lambda x, y: x * y, a, b)
+
+    def div(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop(
+            "div", lambda x, y: int(x / y) if y else -1, a, b
+        )
+
+    def minimum(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("cmp", min, a, b)
+
+    def maximum(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("cmp", max, a, b)
+
+    def compare_eq(self, a: TracedValue, b: TracedValue) -> TracedValue:
+        return self._binop("cmp", lambda x, y: int(x == y), a, b)
+
+    def select(self, p: TracedValue, a: TracedValue, b: TracedValue) -> TracedValue:
+        deps = [v.node for v in (p, a, b) if v.node >= 0]
+        node = self.ddg.add("logic", deps)
+        return TracedValue(a.value if p.value else b.value, node)
+
+    def shift_right(self, a: TracedValue, amount: int) -> TracedValue:
+        node = self.ddg.add("shift", [a.node] if a.node >= 0 else [])
+        return TracedValue(a.value >> amount, node)
+
+    def special(self, fn, a: TracedValue) -> TracedValue:
+        """A special-function unit application (e.g. sigmoid)."""
+        node = self.ddg.add("special", [a.node] if a.node >= 0 else [])
+        return TracedValue(fn(a.value), node)

@@ -1,0 +1,37 @@
+"""Coarse-grained reconfigurable architecture (CGRA) hardware model."""
+
+from .fabric import (
+    Fabric,
+    FabricError,
+    HwVectorPort,
+    MAX_PORT_WIDTH,
+    broadly_provisioned,
+    build_fabric,
+    dnn_provisioned,
+)
+from .fu import ALU, DIVIDER, FU_TYPES, FuType, MULTIPLIER, SIGMOID_UNIT, fu_for_name
+from .network import HOP_LATENCY, Coord, MeshNetwork
+from .pe import MAX_INPUT_DELAY, PeSpec, make_pe
+
+__all__ = [
+    "ALU",
+    "Coord",
+    "DIVIDER",
+    "FU_TYPES",
+    "Fabric",
+    "FabricError",
+    "FuType",
+    "HOP_LATENCY",
+    "HwVectorPort",
+    "MAX_INPUT_DELAY",
+    "MAX_PORT_WIDTH",
+    "MULTIPLIER",
+    "MeshNetwork",
+    "PeSpec",
+    "SIGMOID_UNIT",
+    "broadly_provisioned",
+    "build_fabric",
+    "dnn_provisioned",
+    "fu_for_name",
+    "make_pe",
+]

@@ -1,0 +1,82 @@
+"""Functional-unit types composing the CGRA's processing elements.
+
+A hardware instance is provisioned once per chip family by choosing the FU
+mix (Section 5, "Hardware/Software Workflow"): e.g. the DNN-provisioned
+Softbrain uses 4-way 16-bit sub-word multipliers and ALUs plus a 16-bit
+sigmoid unit, while the broadly-provisioned design uses the maximum FU mix
+needed across the MachSuite workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable
+
+from ..core.dfg.instructions import get_operation
+
+#: op classes used to define FU capabilities
+ALU_OPS = frozenset(
+    {
+        "add", "sub", "min", "max", "abs", "neg",
+        "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+        "select", "pass", "acc", "accmin", "accmax",
+        "hadd", "hmin", "hmax",
+    }
+)
+MUL_OPS = frozenset({"mul", "madd"})
+DIV_OPS = frozenset({"div", "mod"})
+SIGMOID_OPS = frozenset({"sigmoid"})
+
+
+@dataclass(frozen=True)
+class FuType:
+    """A functional-unit flavour: which ops it executes, area and power.
+
+    Area/power figures are 55 nm-class estimates consistent with the paper's
+    Table 3 totals (20 FUs ≈ 0.04 mm² and ≈24.4 mW at full DNN activity).
+    """
+
+    name: str
+    ops: FrozenSet[str]
+    area_mm2: float
+    static_power_mw: float
+
+    def supports(self, mnemonic: str) -> bool:
+        return mnemonic in self.ops
+
+    def __post_init__(self) -> None:
+        for mnemonic in self.ops:
+            get_operation(mnemonic)  # fail fast on typos
+
+
+ALU = FuType("alu", ALU_OPS, area_mm2=0.0008, static_power_mw=0.25)
+MULTIPLIER = FuType("mul", MUL_OPS | ALU_OPS, area_mm2=0.0030, static_power_mw=0.70)
+DIVIDER = FuType(
+    "div", DIV_OPS | MUL_OPS | ALU_OPS, area_mm2=0.0060, static_power_mw=1.20
+)
+SIGMOID_UNIT = FuType(
+    "sigmoid", SIGMOID_OPS | ALU_OPS, area_mm2=0.0020, static_power_mw=0.45
+)
+
+FU_TYPES: Dict[str, FuType] = {
+    fu.name: fu for fu in (ALU, MULTIPLIER, DIVIDER, SIGMOID_UNIT)
+}
+
+
+def fu_for_name(name: str) -> FuType:
+    try:
+        return FU_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown FU type {name!r}; known: {sorted(FU_TYPES)}"
+        ) from None
+
+
+def capability_histogram(fu_names: Iterable[str]) -> Dict[str, int]:
+    """How many FUs of a mix can run each op mnemonic."""
+    histogram: Dict[str, int] = {}
+    for name in fu_names:
+        for op in fu_for_name(name).ops:
+            histogram[op] = histogram.get(op, 0) + 1
+    return histogram

@@ -1,0 +1,8 @@
+"""The paper's primary contribution: stream-dataflow architecture.
+
+Subpackages:
+
+* :mod:`repro.core.dfg` — the dataflow-graph computation abstraction.
+* :mod:`repro.core.isa` — stream commands, access patterns, programs.
+* :mod:`repro.core.compiler` — the DFG-to-CGRA spatial scheduler.
+"""

@@ -1,0 +1,21 @@
+"""DFG-to-CGRA spatial compiler (place, route, delay-match)."""
+
+from .config import CgraConfig, EdgeKey, RoutedEdge
+from .delay_match import DelayMatchError, DelaySolution, compute_delays
+from .routing import RouterState, RoutingError, route_value
+from .scheduler import SchedulingError, map_ports, schedule
+
+__all__ = [
+    "CgraConfig",
+    "DelayMatchError",
+    "DelaySolution",
+    "EdgeKey",
+    "RoutedEdge",
+    "RouterState",
+    "RoutingError",
+    "SchedulingError",
+    "compute_delays",
+    "map_ports",
+    "route_value",
+    "schedule",
+]

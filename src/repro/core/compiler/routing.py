@@ -1,0 +1,101 @@
+"""Router for DFG edges on the circuit-switched mesh.
+
+Since the network is circuit-switched, each channel of a directed link is
+owned by one *producer value* for the whole phase.  Fan-out therefore routes
+as a multicast tree: a link already carrying a value may be reused by the
+same value for free, but carrying a second value consumes another channel.
+The router is a congestion-aware BFS (uniform link cost, first-found
+shortest path avoiding exhausted links).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ...cgra.network import Coord, Link, MeshNetwork
+
+
+class RoutingError(RuntimeError):
+    """Raised when an edge cannot be routed within channel capacity."""
+
+
+@dataclass
+class RouterState:
+    """Tracks channel occupancy per directed link during routing.
+
+    ``occupancy[link]`` is the set of producer values using that link; its
+    size may not exceed ``mesh.channels``.
+    """
+
+    mesh: MeshNetwork
+    occupancy: Dict[Link, Set[str]] = field(default_factory=dict)
+
+    def users(self, link: Link) -> Set[str]:
+        return self.occupancy.setdefault(link, set())
+
+    def can_use(self, link: Link, producer: str) -> bool:
+        users = self.users(link)
+        return producer in users or len(users) < self.mesh.channels
+
+    def claim_path(self, path: List[Link], producer: str) -> None:
+        for link in path:
+            self.users(link).add(producer)
+
+    def total_channels_used(self) -> int:
+        return sum(len(users) for users in self.occupancy.values())
+
+
+def route_value(
+    state: RouterState,
+    producer: str,
+    src: Coord,
+    dst: Coord,
+) -> List[Link]:
+    """Find a shortest path ``src`` -> ``dst`` respecting channel capacity.
+
+    Links already carrying ``producer`` cost nothing extra (multicast), so
+    BFS layers are ordered to prefer reuse.  Returns the link list (empty
+    when ``src == dst``); raises :class:`RoutingError` when no path exists.
+    """
+    if src == dst:
+        return []
+    mesh = state.mesh
+    # 0-1 BFS: reused links cost 0, fresh channel claims cost 1.
+    best: Dict[Coord, int] = {src: 0}
+    parent: Dict[Coord, Link] = {}
+    queue: deque = deque([(0, src)])
+    while queue:
+        cost, coord = queue.popleft()
+        if cost > best.get(coord, float("inf")):
+            continue
+        if coord == dst:
+            break
+        for nbr in mesh.neighbors(coord):
+            link = (coord, nbr)
+            if not state.can_use(link, producer):
+                continue
+            step = 0 if producer in state.users(link) else 1
+            new_cost = cost + step
+            if new_cost < best.get(nbr, float("inf")):
+                best[nbr] = new_cost
+                parent[nbr] = link
+                if step == 0:
+                    queue.appendleft((new_cost, nbr))
+                else:
+                    queue.append((new_cost, nbr))
+    if dst not in parent and src != dst:
+        raise RoutingError(
+            f"no route for {producer!r} from {src} to {dst} "
+            f"(channels={mesh.channels})"
+        )
+    path: List[Link] = []
+    coord = dst
+    while coord != src:
+        link = parent[coord]
+        path.append(link)
+        coord = link[0]
+    path.reverse()
+    state.claim_path(path, producer)
+    return path

@@ -1,0 +1,36 @@
+"""Dataflow-graph abstraction: the computation half of stream-dataflow."""
+
+from .builder import DfgBuilder, PortHandle
+from .graph import Constant, Dfg, DfgError, InputPort, Instruction, OutputPort, ValueRef
+from .instructions import (
+    Operation,
+    all_operations,
+    get_operation,
+    mask_word,
+    to_signed,
+    from_signed,
+)
+from .parser import DfgParseError, dfg_to_text, parse_dfg
+from .validate import validate_dfg
+
+__all__ = [
+    "Constant",
+    "Dfg",
+    "DfgBuilder",
+    "DfgError",
+    "DfgParseError",
+    "InputPort",
+    "Instruction",
+    "Operation",
+    "OutputPort",
+    "PortHandle",
+    "ValueRef",
+    "all_operations",
+    "dfg_to_text",
+    "from_signed",
+    "get_operation",
+    "mask_word",
+    "parse_dfg",
+    "to_signed",
+    "validate_dfg",
+]

@@ -1,0 +1,146 @@
+"""Fluent builder API for constructing dataflow graphs in Python.
+
+The paper's workflow has developers write DFGs in a small graph language
+(see :mod:`repro.core.dfg.parser`); this builder is the equivalent
+programmatic interface, convenient for parameterised kernels such as the
+N-way multiply-accumulate datapaths of Table 4::
+
+    b = DfgBuilder("dotprod")
+    a, w = b.input("A", 3), b.input("B", 3)
+    products = [b.mul(a[i], w[i]) for i in range(3)]
+    b.output("C", b.reduce_tree("add", products))
+    dfg = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .graph import Constant, Dfg, Operand, ValueRef
+from .validate import validate_dfg
+
+
+class PortHandle:
+    """Handle to a DFG input port; index it to get per-lane value refs."""
+
+    def __init__(self, name: str, width: int) -> None:
+        self.name = name
+        self.width = width
+
+    def __getitem__(self, lane: int) -> ValueRef:
+        if not 0 <= lane < self.width:
+            raise IndexError(f"port {self.name!r} has width {self.width}")
+        return ValueRef(self.name, lane)
+
+    def __iter__(self):
+        return (self[i] for i in range(self.width))
+
+    def __len__(self) -> int:
+        return self.width
+
+
+OperandLike = Union[ValueRef, Constant, PortHandle, int]
+
+
+def as_operand(value: OperandLike) -> Operand:
+    """Coerce ints to constants and 1-wide port handles to their lane 0."""
+    if isinstance(value, int):
+        return Constant(value)
+    if isinstance(value, PortHandle):
+        return value[0]
+    return value
+
+
+class DfgBuilder:
+    """Incrementally builds (and finally validates) a :class:`Dfg`."""
+
+    def __init__(self, name: str) -> None:
+        self._dfg = Dfg(name)
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def input(self, name: str, width: int = 1) -> PortHandle:
+        """Declare a named input port and return its lane handle."""
+        self._dfg.add_input(name, width)
+        return PortHandle(name, width)
+
+    def op(
+        self,
+        mnemonic: str,
+        *operands: OperandLike,
+        name: Optional[str] = None,
+        lane_bits: int = 64,
+    ) -> ValueRef:
+        """Add an instruction; returns a ref to its result."""
+        inst_name = name or self._fresh(f"_{mnemonic}_")
+        self._dfg.add_instruction(
+            inst_name, mnemonic, [as_operand(o) for o in operands], lane_bits
+        )
+        return ValueRef(inst_name)
+
+    # Convenience wrappers for the common mnemonics -------------------------
+
+    def add(self, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("add", a, b, **kw)
+
+    def sub(self, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("sub", a, b, **kw)
+
+    def mul(self, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("mul", a, b, **kw)
+
+    def min(self, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("min", a, b, **kw)
+
+    def max(self, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("max", a, b, **kw)
+
+    def select(self, p: OperandLike, a: OperandLike, b: OperandLike, **kw) -> ValueRef:
+        return self.op("select", p, a, b, **kw)
+
+    def sigmoid(self, a: OperandLike, **kw) -> ValueRef:
+        return self.op("sigmoid", a, **kw)
+
+    def accumulate(
+        self, value: OperandLike, reset: OperandLike, name: Optional[str] = None
+    ) -> ValueRef:
+        """Stateful add-accumulator; ``reset`` nonzero clears after output."""
+        return self.op("acc", value, reset, name=name)
+
+    def reduce_tree(self, mnemonic: str, values: Sequence[OperandLike]) -> ValueRef:
+        """Balanced binary reduction tree (the paper's adder/min trees)."""
+        refs: List[Operand] = [as_operand(v) for v in values]
+        if not refs:
+            raise ValueError("reduce_tree needs at least one value")
+        while len(refs) > 1:
+            next_level: List[Operand] = []
+            for i in range(0, len(refs) - 1, 2):
+                next_level.append(self.op(mnemonic, refs[i], refs[i + 1]))
+            if len(refs) % 2:
+                next_level.append(refs[-1])
+            refs = next_level
+        result = refs[0]
+        if isinstance(result, Constant):
+            return self.op("pass", result)
+        return result  # type: ignore[return-value]
+
+    def output(self, name: str, sources: Union[OperandLike, Sequence[OperandLike]]):
+        """Declare an output port fed by one or more value refs."""
+        if isinstance(sources, (ValueRef, Constant, PortHandle, int)):
+            sources = [sources]
+        refs: List[ValueRef] = []
+        for source in sources:
+            operand = as_operand(source)
+            if isinstance(operand, Constant):
+                operand = self.op("pass", operand)
+            refs.append(operand)
+        self._dfg.add_output(name, refs)
+
+    def build(self, validate: bool = True) -> Dfg:
+        """Finish construction, optionally running full validation."""
+        if validate:
+            validate_dfg(self._dfg)
+        return self._dfg

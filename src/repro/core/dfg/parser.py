@@ -1,0 +1,109 @@
+"""Text format for dataflow graphs — the paper's "simple graph language".
+
+Grammar (one statement per line, ``;`` starts a comment)::
+
+    input  <Port> <width>
+    <name> = <op> <operand> ... [@<lane_bits>]
+    output <Port> <operand> ...
+
+Operands are value names (``m0``), input-port lanes (``A.2`` — ``A`` alone
+means lane 0), or immediates (``#42``).  ``@16`` / ``@32`` select sub-word
+lane width.  Example (Figure 3's dot product)::
+
+    input A 3
+    input B 3
+    m0 = mul A.0 B.0
+    m1 = mul A.1 B.1
+    m2 = mul A.2 B.2
+    s0 = add m0 m1
+    s1 = add s0 m2
+    output C s1
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Constant, Dfg, DfgError, Operand, ValueRef
+from .validate import validate_dfg
+
+
+class DfgParseError(DfgError):
+    """Raised with a line number when the text form is malformed."""
+
+
+def _parse_operand(token: str) -> Operand:
+    if token.startswith("#"):
+        try:
+            return Constant(int(token[1:], 0))
+        except ValueError:
+            raise DfgParseError(f"bad immediate {token!r}") from None
+    if "." in token:
+        node, _, lane = token.partition(".")
+        try:
+            return ValueRef(node, int(lane))
+        except ValueError:
+            raise DfgParseError(f"bad lane in operand {token!r}") from None
+    return ValueRef(token)
+
+
+def parse_dfg(text: str, name: str = "dfg") -> Dfg:
+    """Parse the text language into a validated :class:`Dfg`."""
+    dfg = Dfg(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _parse_line(dfg, line)
+        except (DfgError, KeyError) as exc:
+            raise DfgParseError(f"line {lineno}: {exc}") from None
+    validate_dfg(dfg)
+    return dfg
+
+
+def _parse_line(dfg: Dfg, line: str) -> None:
+    tokens = line.split()
+    if tokens[0] == "input":
+        if len(tokens) not in (2, 3):
+            raise DfgParseError(f"expected 'input NAME [WIDTH]', got {line!r}")
+        width = int(tokens[2]) if len(tokens) == 3 else 1
+        dfg.add_input(tokens[1], width)
+        return
+    if tokens[0] == "output":
+        if len(tokens) < 3:
+            raise DfgParseError(f"expected 'output NAME SRC...', got {line!r}")
+        sources = []
+        for token in tokens[2:]:
+            operand = _parse_operand(token)
+            if isinstance(operand, Constant):
+                raise DfgParseError("output sources must be value refs")
+            sources.append(operand)
+        dfg.add_output(tokens[1], sources)
+        return
+    if len(tokens) >= 3 and tokens[1] == "=":
+        value_name, mnemonic = tokens[0], tokens[2]
+        lane_bits = 64
+        operand_tokens = tokens[3:]
+        if operand_tokens and operand_tokens[-1].startswith("@"):
+            lane_bits = int(operand_tokens[-1][1:])
+            operand_tokens = operand_tokens[:-1]
+        operands = [_parse_operand(t) for t in operand_tokens]
+        dfg.add_instruction(value_name, mnemonic, operands, lane_bits)
+        return
+    raise DfgParseError(f"unrecognised statement {line!r}")
+
+
+def dfg_to_text(dfg: Dfg) -> str:
+    """Serialise a DFG back to the text language (round-trips with parse)."""
+    lines: List[str] = [f"; DFG {dfg.name}"]
+    for port in dfg.inputs.values():
+        lines.append(f"input {port.name} {port.width}")
+    for inst in dfg.topological_order():
+        operands = " ".join(str(o) for o in inst.operands)
+        suffix = f" @{inst.lane_bits}" if inst.lane_bits != 64 else ""
+        lines.append(f"{inst.name} = {inst.op.name} {operands}{suffix}")
+    for port in dfg.outputs.values():
+        sources = " ".join(str(s) for s in port.sources)
+        lines.append(f"output {port.name} {sources}")
+    return "\n".join(lines) + "\n"

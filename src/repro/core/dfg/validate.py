@@ -1,0 +1,86 @@
+"""Structural validation of dataflow graphs.
+
+The hardware/software interface imposes real constraints that the paper
+calls out in Section 3.3: vector ports have maximum widths, the computation
+substrate is acyclic apart from direct accumulation, and every operand must
+resolve to a produced value.  The compiler and simulator both assume a graph
+that has passed :func:`validate_dfg`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Constant, Dfg, DfgError, ValueRef
+from .instructions import SUBWORD_WIDTHS
+
+
+def validate_dfg(dfg: Dfg) -> None:
+    """Raise :class:`DfgError` describing every structural problem found."""
+    problems: List[str] = []
+
+    producers = set(dfg.inputs) | set(dfg.instructions)
+
+    for inst in dfg.instructions.values():
+        if len(inst.operands) != inst.op.arity:
+            problems.append(
+                f"{inst.name}: op {inst.op.name!r} wants {inst.op.arity} "
+                f"operands, has {len(inst.operands)}"
+            )
+        if inst.lane_bits not in SUBWORD_WIDTHS:
+            problems.append(f"{inst.name}: bad lane width {inst.lane_bits}")
+        for operand in inst.operands:
+            if isinstance(operand, Constant):
+                continue
+            problems.extend(_check_ref(dfg, producers, inst.name, operand))
+
+    for port in dfg.outputs.values():
+        if len(port.sources) != port.width:
+            problems.append(
+                f"output {port.name}: width {port.width} != "
+                f"{len(port.sources)} sources"
+            )
+        for ref in port.sources:
+            problems.extend(_check_ref(dfg, producers, f"output {port.name}", ref))
+
+    if not dfg.outputs:
+        problems.append("DFG has no output ports")
+    if not dfg.inputs:
+        problems.append("DFG has no input ports")
+
+    # Topological order raises on true cycles; accumulators are legal.
+    if not problems:
+        dfg.topological_order()
+
+    unread = _unread_values(dfg)
+    if unread:
+        problems.append(f"values never consumed: {sorted(unread)}")
+
+    if problems:
+        raise DfgError(
+            f"DFG {dfg.name!r} failed validation:\n  " + "\n  ".join(problems)
+        )
+
+
+def _check_ref(dfg: Dfg, producers: set, context: str, ref: ValueRef) -> List[str]:
+    if ref.node not in producers:
+        return [f"{context}: reads undefined value {ref}"]
+    if ref.node in dfg.inputs:
+        width = dfg.inputs[ref.node].width
+        if not 0 <= ref.lane < width:
+            return [f"{context}: lane {ref.lane} out of range for port {ref.node}"]
+    elif ref.lane != 0:
+        return [f"{context}: instruction {ref.node} has a single output lane"]
+    return []
+
+
+def _unread_values(dfg: Dfg) -> set:
+    """Instruction results that feed neither another instruction nor an output."""
+    read = set()
+    for inst in dfg.instructions.values():
+        for ref in dfg.operand_refs(inst):
+            read.add(ref.node)
+    for port in dfg.outputs.values():
+        for ref in port.sources:
+            read.add(ref.node)
+    return set(dfg.instructions) - read

@@ -1,0 +1,423 @@
+"""The stream-dataflow command set (Table 2 of the paper).
+
+Commands are issued in program order by the control core, dispatched by the
+stream dispatcher once their resources (vector ports, stream-engine table
+entries) are free, and executed concurrently by the stream engines.  Each
+command class documents its Table 2 row.
+
+Ports are referenced through :class:`PortRef`, which namespaces the three
+port kinds: CGRA input ports (``in``), CGRA output ports (``out``) and
+indirect ports (``ind`` — address buffers not connected to the CGRA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .patterns import Affine2D, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A namespaced vector-port reference."""
+
+    kind: str  # "in" | "out" | "ind"
+    port_id: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("in", "out", "ind"):
+            raise ValueError(f"bad port kind {self.kind!r}")
+        if self.port_id < 0:
+            raise ValueError("port id must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.port_id}"
+
+
+def in_port(port_id: int) -> PortRef:
+    return PortRef("in", port_id)
+
+
+def out_port(port_id: int) -> PortRef:
+    return PortRef("out", port_id)
+
+
+def ind_port(port_id: int) -> PortRef:
+    return PortRef("ind", port_id)
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class: every stream-dataflow command.
+
+    ``engine`` names the unit that executes the command: ``mse_read``,
+    ``mse_write``, ``sse`` (scratchpad), ``rse`` (recurrence/const) or
+    ``dispatch`` (config/barriers, handled by the dispatcher itself).
+    """
+
+    @property
+    def engine(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        """Vector ports this command owns while in flight."""
+        return ()
+
+    @property
+    def instruction_count(self) -> int:
+        """Control-core instructions to encode/issue this command (1-3)."""
+        return 2
+
+
+# -- configuration ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SDConfig(Command):
+    """``SD_Config``: load a CGRA configuration image from memory."""
+
+    address: int
+    size: int
+
+    @property
+    def engine(self) -> str:
+        return "mse_read"
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+# -- memory / scratchpad reads -------------------------------------------------
+
+@dataclass(frozen=True)
+class SDMemPort(Command):
+    """``SD_Mem_Port``: read memory with an affine pattern into a port."""
+
+    pattern: Affine2D
+    dest: PortRef
+
+    def __post_init__(self) -> None:
+        if self.dest.kind not in ("in", "ind"):
+            raise ValueError("SD_Mem_Port destination must be an input/indirect port")
+
+    @property
+    def engine(self) -> str:
+        return "mse_read"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.dest,)
+
+
+@dataclass(frozen=True)
+class SDMemScratch(Command):
+    """``SD_Mem_Scratch``: read memory with a pattern into the scratchpad."""
+
+    pattern: Affine2D
+    scratch_addr: int
+
+    @property
+    def engine(self) -> str:
+        return "mse_read"
+
+    @property
+    def instruction_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class SDScratchPort(Command):
+    """``SD_Scratch_Port``: read scratchpad with a pattern into a port."""
+
+    pattern: Affine2D
+    dest: PortRef
+
+    def __post_init__(self) -> None:
+        if self.dest.kind not in ("in", "ind"):
+            raise ValueError(
+                "SD_Scratch_Port destination must be an input/indirect port"
+            )
+
+    @property
+    def engine(self) -> str:
+        return "sse"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.dest,)
+
+
+# -- constants and recurrences --------------------------------------------------
+
+@dataclass(frozen=True)
+class SDConstPort(Command):
+    """``SD_Const_Port``: send a constant word N times to an input port."""
+
+    value: int
+    num_elements: int
+    dest: PortRef
+
+    def __post_init__(self) -> None:
+        if self.dest.kind != "in":
+            raise ValueError("SD_Const_Port destination must be an input port")
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+
+    @property
+    def engine(self) -> str:
+        return "rse"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.dest,)
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SDCleanPort(Command):
+    """``SD_Clean_Port``: discard N words from an output port."""
+
+    num_elements: int
+    source: PortRef
+
+    def __post_init__(self) -> None:
+        if self.source.kind != "out":
+            raise ValueError("SD_Clean_Port source must be an output port")
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+
+    @property
+    def engine(self) -> str:
+        return "rse"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.source,)
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SDPortPort(Command):
+    """``SD_Port_Port``: recurrence stream, output port -> input port."""
+
+    source: PortRef
+    num_elements: int
+    dest: PortRef
+
+    def __post_init__(self) -> None:
+        if self.source.kind != "out" or self.dest.kind not in ("in", "ind"):
+            raise ValueError("SD_Port_Port is output port -> input/indirect port")
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+
+    @property
+    def engine(self) -> str:
+        return "rse"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.source, self.dest)
+
+
+# -- writes ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SDPortScratch(Command):
+    """``SD_Port_Scratch``: write words from an output port to scratchpad."""
+
+    source: PortRef
+    num_elements: int
+    scratch_addr: int
+    elem_bytes: int = WORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.source.kind != "out":
+            raise ValueError("SD_Port_Scratch source must be an output port")
+
+    @property
+    def engine(self) -> str:
+        return "sse"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class SDPortMem(Command):
+    """``SD_Port_Mem``: write from an output port to memory with a pattern."""
+
+    source: PortRef
+    pattern: Affine2D
+
+    def __post_init__(self) -> None:
+        if self.source.kind != "out":
+            raise ValueError("SD_Port_Mem source must be an output port")
+
+    @property
+    def engine(self) -> str:
+        return "mse_write"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.source,)
+
+    @property
+    def instruction_count(self) -> int:
+        return 3
+
+
+# -- indirect access --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SDIndPortPort(Command):
+    """``SD_IndPort_Port``: indirect load.
+
+    Addresses (or offsets from ``offset_addr``) stream out of an indirect
+    port; loaded values go to ``dest``.
+    """
+
+    index_port: PortRef
+    offset_addr: int
+    dest: PortRef
+    num_elements: int
+    elem_bytes: int = WORD_BYTES
+    index_scale: int = WORD_BYTES  # bytes per index unit (1 => raw pointers)
+    signed: bool = False  # sign-extend narrow gathered elements
+
+    def __post_init__(self) -> None:
+        if self.index_port.kind != "ind":
+            raise ValueError("index port must be an indirect port")
+        if self.dest.kind not in ("in", "ind"):
+            raise ValueError("SD_IndPort_Port destination must be input/indirect")
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+
+    @property
+    def engine(self) -> str:
+        return "mse_read"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.index_port, self.dest)
+
+    @property
+    def instruction_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class SDIndPortMem(Command):
+    """``SD_IndPort_Mem``: indirect store.
+
+    Addresses stream from the indirect port; data words stream from
+    ``source`` (an output port) and are scattered to memory.
+    """
+
+    index_port: PortRef
+    source: PortRef
+    offset_addr: int
+    num_elements: int
+    elem_bytes: int = WORD_BYTES
+    index_scale: int = WORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.index_port.kind != "ind":
+            raise ValueError("index port must be an indirect port")
+        if self.source.kind != "out":
+            raise ValueError("SD_IndPort_Mem source must be an output port")
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+
+    @property
+    def engine(self) -> str:
+        return "mse_write"
+
+    @property
+    def uses_ports(self) -> Tuple[PortRef, ...]:
+        return (self.index_port, self.source)
+
+    @property
+    def instruction_count(self) -> int:
+        return 3
+
+
+# -- barriers ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SDBarrierScratchRd(Command):
+    """``SD_Barrier_Scratch_Rd``: later commands wait for scratch reads."""
+
+    @property
+    def engine(self) -> str:
+        return "dispatch"
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SDBarrierScratchWr(Command):
+    """``SD_Barrier_Scratch_Wr``: later commands wait for scratch writes."""
+
+    @property
+    def engine(self) -> str:
+        return "dispatch"
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SDBarrierAll(Command):
+    """``SD_Barrier_All``: wait for every outstanding command; syncs core."""
+
+    @property
+    def engine(self) -> str:
+        return "dispatch"
+
+    @property
+    def instruction_count(self) -> int:
+        return 1
+
+
+BARRIER_TYPES = (SDBarrierScratchRd, SDBarrierScratchWr, SDBarrierAll)
+
+
+def is_barrier(command: Command) -> bool:
+    return isinstance(command, BARRIER_TYPES)
+
+
+def port_uses(command: Command) -> Tuple[Tuple[PortRef, str], ...]:
+    """Each port a command uses, tagged ``"w"`` (writes data into the port)
+    or ``"r"`` (drains data from it).
+
+    Ordering is enforced per (port, role): two writers of a port serialise,
+    but a writer and a reader pipeline — that is what makes an indirect
+    port's fill stream and its gather stream a working producer/consumer
+    pair, and what lets ``SD_Clean`` drain an output port while the CGRA
+    fills it.
+    """
+    if isinstance(command, (SDMemPort, SDScratchPort, SDConstPort)):
+        return ((command.dest, "w"),)
+    if isinstance(command, SDCleanPort):
+        return ((command.source, "r"),)
+    if isinstance(command, SDPortPort):
+        return ((command.source, "r"), (command.dest, "w"))
+    if isinstance(command, (SDPortScratch, SDPortMem)):
+        return ((command.source, "r"),)
+    if isinstance(command, SDIndPortPort):
+        return ((command.index_port, "r"), (command.dest, "w"))
+    if isinstance(command, SDIndPortMem):
+        return ((command.index_port, "r"), (command.source, "r"))
+    return ()

@@ -1,0 +1,285 @@
+"""Functional (untimed) golden-model interpreter for stream programs.
+
+Real accelerator stacks pair a cycle-level simulator with a functional
+reference (spike vs gem5, for RISC-V); this is ours.  It executes a
+:class:`~repro.core.isa.program.StreamProgram` against a plain byte store
+with *unbounded* port FIFOs and no timing — only the architecture's
+ordering rules:
+
+* commands touching the same (port, role) execute in program order;
+* otherwise commands may interleave (implemented as a fixpoint over the
+  program with resumable per-command progress, which realises one legal
+  concurrent interleaving);
+* the CGRA fires greedily whenever every DFG input port holds a full
+  instance.
+
+``tests/test_golden_model.py`` cross-validates the cycle-level simulator
+against this interpreter on every workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from .commands import (
+    Command,
+    PortRef,
+    SDCleanPort,
+    SDConfig,
+    SDConstPort,
+    SDIndPortMem,
+    SDIndPortPort,
+    SDMemPort,
+    SDMemScratch,
+    SDPortMem,
+    SDPortPort,
+    SDPortScratch,
+    SDScratchPort,
+    is_barrier,
+    port_uses,
+)
+from .program import HostCompute, StreamProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim.memory import BackingStore
+
+WORD_MASK = (1 << 64) - 1
+
+
+class FunctionalDeadlock(RuntimeError):
+    """The program cannot make progress (a genuine program bug)."""
+
+
+class _State:
+    """Interpreter state: port queues, scratch bytes, CGRA binding."""
+
+    def __init__(self, program: StreamProgram, store: "BackingStore",
+                 scratch_bytes: int) -> None:
+        self.program = program
+        self.store = store
+        self.scratch = bytearray(scratch_bytes)
+        self.queues: Dict[Tuple[str, int], Deque[int]] = {}
+        self.compiled = None  # CompiledDfg, bound at SD_Config
+        self.acc_state: List[int] = []
+        self.config = None
+
+    def queue(self, ref: PortRef) -> Deque[int]:
+        return self.queues.setdefault((ref.kind, ref.port_id), deque())
+
+    def apply_config(self, command: SDConfig) -> None:
+        # Local import: CompiledDfg is purely functional, but it lives in
+        # the simulator package and importing it at module scope would make
+        # the core layer depend on sim at import time.
+        from ...sim.cgra_exec import CompiledDfg
+
+        self.config = self.program.config_images[command.address]
+        self.compiled = CompiledDfg(self.config.dfg)
+        self.acc_state = self.compiled.make_state()
+
+    def drain_cgra(self) -> bool:
+        """Fire instances while every input port holds a full instance."""
+        if self.compiled is None:
+            return False
+        dfg = self.config.dfg
+        in_ports = [
+            (name, port.width,
+             self.queue(PortRef("in", self.config.hw_input_port(name))))
+            for name, port in dfg.inputs.items()
+        ]
+        out_ports = [
+            (name, self.queue(PortRef("out", self.config.hw_output_port(name))))
+            for name in dfg.outputs
+        ]
+        fired = False
+        while all(len(q) >= width for _, width, q in in_ports):
+            inputs = {
+                name: [q.popleft() for _ in range(width)]
+                for name, width, q in in_ports
+            }
+            results = self.compiled.run(inputs, self.acc_state)
+            for name, q in out_ports:
+                q.extend(results[name])
+            fired = True
+        return fired
+
+    # -- element access helpers ---------------------------------------------------
+
+    def read_elem(self, from_scratch: bool, addr: int, size: int,
+                  signed: bool) -> int:
+        data = (
+            bytes(self.scratch[addr : addr + size])
+            if from_scratch
+            else self.store.read(addr, size)
+        )
+        return int.from_bytes(data, "little", signed=signed) & WORD_MASK
+
+    def write_elem(self, to_scratch: bool, addr: int, word: int,
+                   size: int) -> None:
+        data = (word & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if to_scratch:
+            self.scratch[addr : addr + size] = data
+        else:
+            self.store.write(addr, data)
+
+
+class _Executor:
+    """Resumable execution of one command; ``step`` returns (progress, done)."""
+
+    def __init__(self, state: _State, command: Command) -> None:
+        self.state = state
+        self.command = command
+        self.position = 0  # elements completed so far
+
+    def step(self) -> Tuple[bool, bool]:
+        state, command = self.state, self.command
+        if is_barrier(command) or isinstance(command, HostCompute):
+            return True, True
+        if isinstance(command, SDConfig):
+            state.apply_config(command)
+            return True, True
+        if isinstance(command, (SDMemPort, SDScratchPort)):
+            pattern = command.pattern
+            queue = state.queue(command.dest)
+            from_scratch = isinstance(command, SDScratchPort)
+            for addr in pattern.element_addresses():
+                queue.append(
+                    state.read_elem(
+                        from_scratch, addr, pattern.elem_bytes, pattern.signed
+                    )
+                )
+            return True, True
+        if isinstance(command, SDMemScratch):
+            pattern = command.pattern
+            for index, addr in enumerate(pattern.element_addresses()):
+                data = state.store.read(addr, pattern.elem_bytes)
+                offset = command.scratch_addr + index * pattern.elem_bytes
+                state.scratch[offset : offset + pattern.elem_bytes] = data
+            return True, True
+        if isinstance(command, SDConstPort):
+            state.queue(command.dest).extend(
+                [command.value & WORD_MASK] * command.num_elements
+            )
+            return True, True
+
+        # The remaining commands consume port data and may need the CGRA
+        # to produce it: drain first, consume what is available.
+        drained = state.drain_cgra()
+        progressed = drained
+
+        if isinstance(command, SDCleanPort):
+            queue = state.queue(command.source)
+            take = min(len(queue), command.num_elements - self.position)
+            for _ in range(take):
+                queue.popleft()
+        elif isinstance(command, SDPortPort):
+            src, dst = state.queue(command.source), state.queue(command.dest)
+            take = min(len(src), command.num_elements - self.position)
+            for _ in range(take):
+                dst.append(src.popleft())
+        elif isinstance(command, SDPortScratch):
+            queue = state.queue(command.source)
+            take = min(len(queue), command.num_elements - self.position)
+            for k in range(take):
+                addr = command.scratch_addr + (self.position + k) * command.elem_bytes
+                state.write_elem(True, addr, queue.popleft(), command.elem_bytes)
+        elif isinstance(command, SDPortMem):
+            queue = state.queue(command.source)
+            addrs = list(command.pattern.element_addresses())
+            take = min(len(queue), len(addrs) - self.position)
+            for k in range(take):
+                state.write_elem(
+                    False,
+                    addrs[self.position + k],
+                    queue.popleft(),
+                    command.pattern.elem_bytes,
+                )
+        elif isinstance(command, SDIndPortPort):
+            indices = state.queue(command.index_port)
+            dest = state.queue(command.dest)
+            take = min(len(indices), command.num_elements - self.position)
+            for _ in range(take):
+                addr = command.offset_addr + indices.popleft() * command.index_scale
+                dest.append(
+                    state.read_elem(
+                        False, addr, command.elem_bytes, command.signed
+                    )
+                )
+        elif isinstance(command, SDIndPortMem):
+            indices = state.queue(command.index_port)
+            values = state.queue(command.source)
+            take = min(
+                len(indices), len(values), command.num_elements - self.position
+            )
+            for _ in range(take):
+                addr = command.offset_addr + indices.popleft() * command.index_scale
+                state.write_elem(False, addr, values.popleft(), command.elem_bytes)
+        else:
+            raise TypeError(f"cannot interpret {type(command).__name__}")
+
+        self.position += take
+        progressed = progressed or take > 0
+        done = self.position >= self._total()
+        if done:
+            state.drain_cgra()
+        return progressed, done
+
+    def _total(self) -> int:
+        command = self.command
+        if isinstance(command, SDPortMem):
+            return command.pattern.num_elements
+        return command.num_elements  # type: ignore[attr-defined]
+
+
+def interpret_program(
+    program: StreamProgram,
+    store: BackingStore,
+    scratch_bytes: int = 4096,
+) -> None:
+    """Execute a stream program functionally, mutating ``store`` in place.
+
+    Raises :class:`FunctionalDeadlock` if no legal interleaving lets the
+    program finish (missing data, starved ports).
+    """
+    state = _State(program, store, scratch_bytes)
+    executors = [_Executor(state, item) for item in program.items]
+    done = [False] * len(executors)
+
+    while not all(done):
+        any_progress = False
+        busy: set = set()  # (kind, id, role) held by an earlier unfinished cmd
+        for index, executor in enumerate(executors):
+            if done[index]:
+                continue
+            command = executor.command
+            # Barriers and reconfiguration order *everything*: they retire
+            # only once all earlier commands have, and nothing passes them.
+            # (Treating the scratch barriers as full barriers is a legal,
+            # conservative implementation of their happens-before rule.)
+            if is_barrier(command) or isinstance(command, SDConfig):
+                if all(done[:index]):
+                    _, finished = executor.step()
+                    done[index] = finished
+                    any_progress = True
+                break
+            keys = {
+                (p.kind, p.port_id, role)
+                for p, role in port_uses(command)
+            }
+            if keys & busy:
+                busy |= keys  # program order per (port, role)
+                continue
+            progressed, finished = executor.step()
+            any_progress = any_progress or progressed or finished
+            done[index] = finished
+            if not finished:
+                busy |= keys
+        if not any_progress:
+            stuck = [
+                type(e.command).__name__
+                for i, e in enumerate(executors)
+                if not done[i]
+            ]
+            raise FunctionalDeadlock(
+                f"functional model stuck; unfinished commands: {stuck}"
+            )

@@ -1,0 +1,185 @@
+"""Stream access patterns: two-dimensional affine and indirect.
+
+The stream half of stream-dataflow supports exactly the patterns of the
+paper's Figure 5 — accesses of the form ``a[C*i + j]``: an *access size*
+(bytes per contiguous access), a *stride* (bytes between access starts) and
+a *number of strides*.  Setting ``stride == access_size`` gives linear
+streams, ``stride > access_size`` strided, ``stride < access_size``
+overlapped, and ``stride == 0`` repeating.
+
+Address generation units (Section 4.3) turn a pattern into the minimal
+sequence of 64-byte-aligned line requests; :func:`line_requests` implements
+that coalescing and is shared by the memory and scratchpad stream engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: memory interface width — one request covers one 64-byte line
+LINE_BYTES = 64
+#: the CGRA datapath word
+WORD_BYTES = 8
+
+
+class PatternError(ValueError):
+    """Raised for degenerate access patterns."""
+
+
+@dataclass(frozen=True)
+class Affine2D:
+    """A 2D affine access pattern (Figure 5).
+
+    Attributes:
+        start: base byte address.
+        access_size: bytes per contiguous access (the inner dimension).
+        stride: bytes between consecutive access starts (0 repeats).
+        num_strides: number of accesses (the outer dimension).
+        elem_bytes: element granularity (1, 2, 4 or 8) — each element
+            occupies one 64-bit word at a vector port; narrow elements are
+            zero- or sign-extended on load and truncated on store.
+        signed: sign-extend narrow loads (ignored when elem_bytes == 8).
+    """
+
+    start: int
+    access_size: int
+    stride: int
+    num_strides: int
+    elem_bytes: int = WORD_BYTES
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.access_size <= 0:
+            raise PatternError(f"access_size must be positive: {self.access_size}")
+        if self.num_strides <= 0:
+            raise PatternError(f"num_strides must be positive: {self.num_strides}")
+        if self.stride < 0:
+            raise PatternError(f"stride must be non-negative: {self.stride}")
+        if self.elem_bytes not in (1, 2, 4, 8):
+            raise PatternError(f"elem_bytes must be 1/2/4/8: {self.elem_bytes}")
+        if self.access_size % self.elem_bytes:
+            raise PatternError(
+                f"access_size {self.access_size} not a multiple of "
+                f"elem_bytes {self.elem_bytes}"
+            )
+        if self.start < 0:
+            raise PatternError("start address must be non-negative")
+
+    @classmethod
+    def linear(cls, start: int, length_bytes: int, elem_bytes: int = WORD_BYTES
+               ) -> "Affine2D":
+        """A purely sequential stream of ``length_bytes`` from ``start``."""
+        return cls(start, length_bytes, length_bytes, 1, elem_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.access_size * self.num_strides
+
+    @property
+    def num_elements(self) -> int:
+        return self.total_bytes // self.elem_bytes
+
+    @property
+    def extent(self) -> int:
+        """One past the highest byte address the pattern touches."""
+        return self.start + self.stride * (self.num_strides - 1) + self.access_size
+
+    def element_addresses(self) -> Iterator[int]:
+        """Byte address of each element, in stream order."""
+        per_access = self.access_size // self.elem_bytes
+        for i in range(self.num_strides):
+            base = self.start + i * self.stride
+            for j in range(per_access):
+                yield base + j * self.elem_bytes
+
+    def classify(self) -> str:
+        """Pattern family name as used in Figure 5 / Table 4."""
+        if self.num_strides == 1 or self.stride == self.access_size:
+            return "linear"
+        if self.stride == 0:
+            return "repeating"
+        if self.stride < self.access_size:
+            return "overlapped"
+        return "strided"
+
+
+@dataclass(frozen=True)
+class LineRequest:
+    """One 64-byte-aligned memory request carrying whole elements.
+
+    Attributes:
+        line_addr: byte address of the line (multiple of LINE_BYTES).
+        element_addrs: addresses of the stream elements served, stream order.
+        elem_bytes: element size.
+    """
+
+    line_addr: int
+    element_addrs: Tuple[int, ...]
+    elem_bytes: int
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.element_addrs)
+
+    @property
+    def bytes_used(self) -> int:
+        return self.num_elements * self.elem_bytes
+
+
+def line_requests(
+    addrs: Iterator[int],
+    elem_bytes: int,
+    line_bytes: int = LINE_BYTES,
+    max_elements: int = LINE_BYTES // 2,
+) -> Iterator[LineRequest]:
+    """Coalesce an in-order element-address stream into minimal line requests.
+
+    Elements must be delivered in stream order, so a request closes as soon
+    as the next element falls outside the current line (this is exactly the
+    affine AGU's "minimal number of requests" behaviour: linear patterns
+    produce one request per line, large strides one request per access).
+    """
+    current_line: int = -1
+    batch: List[int] = []
+    for addr in addrs:
+        line = (addr // line_bytes) * line_bytes
+        fits = line == current_line and len(batch) < max_elements
+        if not fits and batch:
+            yield LineRequest(current_line, tuple(batch), elem_bytes)
+            batch = []
+        current_line = line
+        batch.append(addr)
+    if batch:
+        yield LineRequest(current_line, tuple(batch), elem_bytes)
+
+
+def affine_requests(pattern: Affine2D) -> Iterator[LineRequest]:
+    """The affine AGU: minimal line requests for a 2D affine pattern."""
+    return line_requests(pattern.element_addresses(), pattern.elem_bytes)
+
+
+def indirect_requests(
+    element_addrs: List[int],
+    elem_bytes: int,
+    max_coalesce: int = 4,
+) -> Iterator[LineRequest]:
+    """The indirect AGU: coalesce up to ``max_coalesce`` *increasing*
+    addresses that share a 64-byte line (Section 4.3)."""
+    i = 0
+    n = len(element_addrs)
+    while i < n:
+        addr = element_addrs[i]
+        line = (addr // LINE_BYTES) * LINE_BYTES
+        batch = [addr]
+        j = i + 1
+        while (
+            j < n
+            and len(batch) < max_coalesce
+            and element_addrs[j] >= batch[-1]
+            and (element_addrs[j] // LINE_BYTES) * LINE_BYTES == line
+        ):
+            batch.append(element_addrs[j])
+            j += 1
+        yield LineRequest(line, tuple(batch), elem_bytes)
+        i = j

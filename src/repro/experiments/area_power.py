@@ -1,0 +1,98 @@
+"""Table 3: area and power breakdown of Softbrain vs DianNao.
+
+Reproduces the published accounting: per-component area and maximum-
+activity power of one Softbrain unit (DNN-provisioned), the 8-unit total,
+the DianNao reference figures, and the overhead ratios the abstract quotes
+(~1.7x area, ~2.3x power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..baselines.diannao import DIANNAO_AREA_MM2, DIANNAO_POWER_MW
+from ..power.model import (
+    SOFTBRAIN_COMPONENTS,
+    softbrain_area_mm2,
+    softbrain_peak_power_mw,
+)
+
+#: display labels matching the paper's Table 3 rows
+COMPONENT_LABELS: Dict[str, str] = {
+    "control_core": "Control Core + 16kB I & D$",
+    "cgra_network": "CGRA Network",
+    "fus": "FUs (4x5)",
+    "stream_engines": "5x Stream Engines",
+    "scratchpad": "Scratchpad (4KB)",
+    "vector_ports": "Vector Ports (In & Out)",
+}
+
+
+@dataclass
+class Table3:
+    """The full Table 3 contents."""
+
+    component_area_mm2: Dict[str, float]
+    component_power_mw: Dict[str, float]
+    unit_area_mm2: float
+    unit_power_mw: float
+    total_area_mm2: float
+    total_power_mw: float
+    diannao_area_mm2: float
+    diannao_power_mw: float
+
+    @property
+    def area_overhead(self) -> float:
+        return self.total_area_mm2 / self.diannao_area_mm2
+
+    @property
+    def power_overhead(self) -> float:
+        return self.total_power_mw / self.diannao_power_mw
+
+
+def table3(num_units: int = 8) -> Table3:
+    areas = {n: c.area_mm2 for n, c in SOFTBRAIN_COMPONENTS.items()}
+    powers = {n: c.peak_mw for n, c in SOFTBRAIN_COMPONENTS.items()}
+    return Table3(
+        component_area_mm2=areas,
+        component_power_mw=powers,
+        unit_area_mm2=softbrain_area_mm2(),
+        unit_power_mw=softbrain_peak_power_mw(),
+        total_area_mm2=softbrain_area_mm2(num_units),
+        total_power_mw=softbrain_peak_power_mw(num_units),
+        diannao_area_mm2=DIANNAO_AREA_MM2,
+        diannao_power_mw=DIANNAO_POWER_MW,
+    )
+
+
+def format_table3(data: Table3, num_units: int = 8) -> str:
+    lines = [
+        "Table 3: area and power breakdown (55 nm, max DNN activity)",
+        f"{'component':<28} {'area (mm^2)':>12} {'power (mW)':>11}",
+        "-" * 53,
+    ]
+    for name, label in COMPONENT_LABELS.items():
+        lines.append(
+            f"{label:<28} {data.component_area_mm2[name]:>12.2f} "
+            f"{data.component_power_mw[name]:>11.1f}"
+        )
+    lines.append("-" * 53)
+    lines.append(
+        f"{'1 Softbrain Total':<28} {data.unit_area_mm2:>12.2f} "
+        f"{data.unit_power_mw:>11.1f}"
+    )
+    lines.append(
+        f"{f'{num_units} Softbrain Units':<28} {data.total_area_mm2:>12.2f} "
+        f"{data.total_power_mw:>11.1f}"
+    )
+    lines.append(
+        f"{'DianNao':<28} {data.diannao_area_mm2:>12.2f} "
+        f"{data.diannao_power_mw:>11.1f}"
+    )
+    lines.append("-" * 53)
+    lines.append(
+        f"{'Softbrain/DianNao overhead':<28} {data.area_overhead:>12.2f} "
+        f"{data.power_overhead:>11.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Table 4: MachSuite workload characterisation on stream-dataflow.
+
+Builds every implemented workload and derives its stream-pattern usage from
+the actual commands, plus the paper's list of workloads that do not map to
+the architecture and why.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..workloads.characterization import (
+    CharacterizationRow,
+    UNSUITABLE,
+    characterize,
+)
+from ..workloads.machsuite import MACHSUITE
+
+#: the eight workloads the paper's Table 4 evaluates, in its order
+PAPER_WORKLOADS = [
+    "bfs", "gemm", "md", "spmv-crs", "spmv-ellpack",
+    "stencil", "stencil3d", "viterbi",
+]
+#: additional workloads the paper lists as fitting the paradigm (footnote 3)
+EXTENSION_WORKLOADS = ["fft", "nw", "backprop"]
+
+
+def table4_rows(include_extensions: bool = False) -> List[CharacterizationRow]:
+    names = PAPER_WORKLOADS + (EXTENSION_WORKLOADS if include_extensions else [])
+    return [characterize(MACHSUITE[name][0]()) for name in names]
+
+
+def format_table4(rows: List[CharacterizationRow]) -> str:
+    lines = [
+        "Table 4: workload characterisation",
+        f"{'workload':<14} {'stream patterns':<46} {'datapath'}",
+        "-" * 96,
+    ]
+    for row in rows:
+        patterns = ", ".join(row.patterns)
+        marker = " (extension)" if row.name in EXTENSION_WORKLOADS else ""
+        lines.append(f"{row.name:<14} {patterns:<46} {row.datapath}{marker}")
+    lines.append("")
+    lines.append("Unsuitable codes:")
+    for name, reason in UNSUITABLE:
+        lines.append(f"  {name:<12} {reason}")
+    return "\n".join(lines)

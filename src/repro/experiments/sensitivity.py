@@ -1,0 +1,120 @@
+"""Design-parameter sensitivity sweeps for Softbrain.
+
+Quantifies the hardware parameters Section 3.3/4 leaves as provisioning
+choices: vector-port depth (recurrence buffering, latency tolerance),
+DRAM bandwidth (the memory-bound workloads' ceiling), and the stream-table
+size (concurrent streams per engine).  Each sweep re-simulates a workload
+with one knob varied and everything else fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..sim.memory import MemoryParams, MemorySystem
+from ..sim.softbrain import SoftbrainParams, run_program
+from ..workloads.common import BuiltWorkload
+
+
+@dataclass
+class SweepPoint:
+    """One (knob value, cycles) sample."""
+
+    value: int
+    cycles: int
+
+
+@dataclass
+class SweepResult:
+    knob: str
+    workload: str
+    points: List[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        return min(self.points, key=lambda p: p.cycles)
+
+    @property
+    def worst(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.cycles)
+
+    @property
+    def spread(self) -> float:
+        return self.worst.cycles / max(1, self.best.cycles)
+
+
+def _rerun(built: BuiltWorkload, fabric, params=None, memory_params=None) -> int:
+    memory = MemorySystem(memory_params)
+    memory.store = built.memory.store
+    result = run_program(built.program, fabric=fabric, memory=memory,
+                         params=params)
+    built.memory = memory
+    built.verify(memory)
+    return result.cycles
+
+
+def sweep_port_depth(
+    make_workload: Callable[..., BuiltWorkload],
+    fabric_factory: Callable[[int], object],
+    depths: Sequence[int] = (2, 4, 8, 16, 32, 64),
+) -> SweepResult:
+    """Vector-port FIFO depth: latency tolerance of the port interface."""
+    points = []
+    name = ""
+    for depth in depths:
+        fabric = fabric_factory(depth)
+        built = make_workload(fabric=fabric)
+        name = built.name
+        points.append(SweepPoint(depth, _rerun(built, fabric)))
+    return SweepResult("port_depth", name, points)
+
+
+def sweep_dram_bandwidth(
+    make_workload: Callable[..., BuiltWorkload],
+    gaps: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> SweepResult:
+    """DRAM line gap (64 B per ``gap`` cycles): the streaming-BW ceiling."""
+    points = []
+    name = ""
+    for gap in gaps:
+        built = make_workload()
+        name = built.name
+        cycles = _rerun(
+            built,
+            built.fabric,
+            memory_params=MemoryParams(dram_gap_cycles=gap),
+        )
+        points.append(SweepPoint(gap, cycles))
+    return SweepResult("dram_gap_cycles", name, points)
+
+
+def sweep_stream_table(
+    make_workload: Callable[..., BuiltWorkload],
+    sizes: Sequence[int] = (5, 6, 8, 12, 16),
+) -> SweepResult:
+    """Stream-table entries per engine: concurrent streams in flight."""
+    points = []
+    name = ""
+    for size in sizes:
+        built = make_workload()
+        name = built.name
+        cycles = _rerun(
+            built,
+            built.fabric,
+            params=SoftbrainParams(stream_table_size=size),
+        )
+        points.append(SweepPoint(size, cycles))
+    return SweepResult("stream_table_size", name, points)
+
+
+def format_sweep(result: SweepResult) -> str:
+    lines = [
+        f"sensitivity: {result.knob} on {result.workload} "
+        f"(spread {result.spread:.2f}x)",
+        f"{result.knob:>18} {'cycles':>10}",
+    ]
+    for point in result.points:
+        marker = "  <- best" if point is result.best else ""
+        lines.append(f"{point.value:>18} {point.cycles:>10}{marker}")
+    return "\n".join(lines)

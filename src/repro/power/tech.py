@@ -1,0 +1,29 @@
+"""Process-technology normalisation helpers.
+
+The paper normalises every number to a 55 nm process (Table 3's caption):
+DianNao's published figures are 65 nm, Aladdin models 40 nm, the CPU's
+dynamic power is measured at 32 nm.  We use first-order constant-field
+scaling — area scales with the square of feature size, power (at fixed
+frequency and proportionally-scaled voltage) roughly linearly — which is
+the same simple normalisation the paper applies.
+"""
+
+from __future__ import annotations
+
+
+def scale_area(value_mm2: float, from_nm: float, to_nm: float) -> float:
+    """Scale an area figure between process nodes (quadratic in feature size)."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("process nodes must be positive")
+    return value_mm2 * (to_nm / from_nm) ** 2
+
+
+def scale_power(value_mw: float, from_nm: float, to_nm: float) -> float:
+    """Scale a power figure between process nodes (linear in feature size)."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("process nodes must be positive")
+    return value_mw * (to_nm / from_nm)
+
+
+#: the evaluation's common process node, nm
+REFERENCE_NODE_NM = 55.0

@@ -1,0 +1,62 @@
+"""Cycle-level simulator of the Softbrain microarchitecture."""
+
+from .cgra_exec import CgraExecutor, CompiledDfg
+from .control_core import ControlCore
+from .dispatcher import COMMAND_QUEUE_DEPTH, Dispatcher
+from .memory import BackingStore, MemoryParams, MemoryStats, MemorySystem
+from .multi_unit import MultiUnitResult, run_multi_unit
+from .scratchpad import Scratchpad, ScratchpadError, ScratchpadStats
+from .softbrain import (
+    RunResult,
+    SimulationDeadlock,
+    SimulationLimit,
+    SoftbrainParams,
+    SoftbrainSim,
+    run_program,
+)
+from .stats import CommandTrace, SimStats, Timeline, render_timeline
+from .stream_engine import (
+    ActiveStream,
+    MemReadEngine,
+    MemWriteEngine,
+    RecurrenceEngine,
+    ScratchEngine,
+    StreamEngineBase,
+    WORDS_PER_CYCLE,
+)
+from .vector_port import PortRuntimeError, VectorPortState
+
+__all__ = [
+    "ActiveStream",
+    "BackingStore",
+    "COMMAND_QUEUE_DEPTH",
+    "CgraExecutor",
+    "CommandTrace",
+    "CompiledDfg",
+    "ControlCore",
+    "Dispatcher",
+    "MemReadEngine",
+    "MemWriteEngine",
+    "MemoryParams",
+    "MemoryStats",
+    "MemorySystem",
+    "MultiUnitResult",
+    "PortRuntimeError",
+    "RecurrenceEngine",
+    "RunResult",
+    "ScratchEngine",
+    "Scratchpad",
+    "ScratchpadError",
+    "ScratchpadStats",
+    "SimStats",
+    "SimulationDeadlock",
+    "SimulationLimit",
+    "SoftbrainParams",
+    "SoftbrainSim",
+    "StreamEngineBase",
+    "Timeline",
+    "VectorPortState",
+    "WORDS_PER_CYCLE",
+    "render_timeline",
+    "run_multi_unit",
+]

@@ -1,0 +1,171 @@
+"""Pipelined CGRA execution with coarse-grained dataflow firing.
+
+Section 4.4: when one instance worth of data is available on every relevant
+input vector port — and, because the mesh has no flow control, space is
+guaranteed at the output ports — all of it is released into the fabric
+simultaneously.  The fabric is fully pipelined (initiation interval 1), so
+a new instance may fire every cycle; results emerge ``config.latency``
+cycles later at the output ports.
+
+:class:`CompiledDfg` flattens a validated DFG into an index-addressed step
+list so the per-firing cost in the simulator stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.compiler.config import CgraConfig
+from ..core.dfg.graph import Constant, Dfg
+from ..core.dfg.instructions import (
+    accumulate_combine,
+    accumulator_identity,
+    mask_word,
+)
+from .vector_port import VectorPortState
+
+
+class CompiledDfg:
+    """Index-flattened executor for one DFG (much faster than Dfg.execute)."""
+
+    def __init__(self, dfg: Dfg) -> None:
+        self.dfg = dfg
+        index: Dict[Tuple[str, int], int] = {}
+        self.input_slots: List[Tuple[str, int, int]] = []  # (port, lane, idx)
+        for name, port in dfg.inputs.items():
+            for lane in range(port.width):
+                index[(name, lane)] = len(index)
+                self.input_slots.append((name, lane, index[(name, lane)]))
+        self.num_inputs = len(index)
+
+        #: (operation, lane bits, operand spec, out index, acc slot or -1)
+        self.steps: List[Tuple] = []
+        self.acc_identity: List[int] = []  # identity word per accumulator slot
+        for inst in dfg.topological_order():
+            out_idx = len(index)
+            index[(inst.name, 0)] = out_idx
+            operand_spec: List[Tuple[bool, int]] = []
+            for operand in inst.operands:
+                if isinstance(operand, Constant):
+                    operand_spec.append((True, mask_word(operand.word)))
+                else:
+                    operand_spec.append((False, index[(operand.node, operand.lane)]))
+            acc_slot = -1
+            if inst.is_accumulator:
+                acc_slot = len(self.acc_identity)
+                self.acc_identity.append(
+                    accumulator_identity(inst.op.name, inst.lane_bits)
+                )
+            self.steps.append(
+                (inst.op, inst.lane_bits, tuple(operand_spec), out_idx, acc_slot)
+            )
+        self.num_values = len(index)
+
+        self.output_slots: List[Tuple[str, List[int]]] = [
+            (name, [index[(ref.node, ref.lane)] for ref in port.sources])
+            for name, port in dfg.outputs.items()
+        ]
+
+    def make_state(self) -> List[int]:
+        return list(self.acc_identity)
+
+    def run(
+        self, inputs: Dict[str, List[int]], state: List[int]
+    ) -> Dict[str, List[int]]:
+        """Execute one instance; mutates accumulator ``state`` in place."""
+        values = [0] * self.num_values
+        for port_name, lane, idx in self.input_slots:
+            values[idx] = inputs[port_name][lane]
+        for op, lane_bits, operand_spec, out_idx, acc_slot in self.steps:
+            operands = [
+                const if is_const else values[const]
+                for is_const, const in operand_spec
+            ]
+            if acc_slot >= 0:
+                value, reset = operands
+                total = accumulate_combine(
+                    op.name, state[acc_slot], value, lane_bits
+                )
+                values[out_idx] = total
+                state[acc_slot] = (
+                    self.acc_identity[acc_slot] if reset else total
+                )
+            else:
+                values[out_idx] = op.evaluate(operands, lane_bits)
+        return {
+            name: [values[i] for i in slots] for name, slots in self.output_slots
+        }
+
+
+class CgraExecutor:
+    """Runtime firing logic for the currently-loaded configuration."""
+
+    def __init__(self, sim: "SoftbrainSim", config: CgraConfig) -> None:  # noqa: F821
+        self.sim = sim
+        self.config = config
+        self.compiled = CompiledDfg(config.dfg)
+        self.state = self.compiled.make_state()
+        self.in_flight = 0
+
+        dfg = config.dfg
+        self.inputs: List[Tuple[str, int, VectorPortState]] = [
+            (
+                name,
+                port.width,
+                sim.input_ports[config.hw_input_port(name)],
+            )
+            for name, port in dfg.inputs.items()
+        ]
+        self.outputs: List[Tuple[str, int, VectorPortState]] = [
+            (
+                name,
+                port.width,
+                sim.output_ports[config.hw_output_port(name)],
+            )
+            for name, port in dfg.outputs.items()
+        ]
+        # Per-firing cost bookkeeping, computed once.
+        self.ops_per_instance = dfg.num_instructions
+        self.fu_ops_per_instance: Dict[str, int] = {}
+        for inst_name, coord in config.placement.items():
+            fu_name = config.fabric.pes[coord].fu.name
+            self.fu_ops_per_instance[fu_name] = (
+                self.fu_ops_per_instance.get(fu_name, 0) + 1
+            )
+
+    def can_fire(self) -> Tuple[bool, str]:
+        for _, width, port in self.inputs:
+            if port.occupancy < width:
+                return False, "input"
+        for _, width, port in self.outputs:
+            if port.free_words < width:
+                return False, "output"
+        return True, ""
+
+    def tick(self, cycle: int) -> bool:
+        """Fire at most one instance (II = 1)."""
+        ok, why = self.can_fire()
+        if not ok:
+            # Only count stalls while there is actually upstream data.
+            if why == "output":
+                self.sim.stats.cgra_stall_no_output_room += 1
+            elif any(port.occupancy for _, _, port in self.inputs):
+                self.sim.stats.cgra_stall_no_input += 1
+            return False
+        inputs = {
+            name: port.pop_words(width) for name, width, port in self.inputs
+        }
+        results = self.compiled.run(inputs, self.state)
+        for name, width, port in self.outputs:
+            port.reserve(width)
+        self.in_flight += 1
+        done = cycle + self.config.latency
+
+        def deliver() -> None:
+            for name, width, port in self.outputs:
+                port.push(results[name])
+            self.in_flight -= 1
+
+        self.sim.schedule(done, deliver)
+        self.sim.stats.note_firing(self.ops_per_instance, self.fu_ops_per_instance)
+        return True

@@ -1,0 +1,154 @@
+"""Stream dispatcher: scoreboards, program-order port rules and barriers.
+
+The dispatcher (Section 4.2) sits between the control core and the stream
+engines.  It issues at most one command per cycle, in program order, once:
+
+* every vector port the command uses is *free* (streams touching the same
+  port must execute in program order),
+* the target stream engine has a free stream-table entry, and
+* no pending barrier forbids it.
+
+Barriers block the head of the queue until their condition holds; other
+already-issued streams keep running, which is how forward progress is
+guaranteed.  ``SD_Barrier_All`` additionally stalls the control core while
+it is anywhere in the queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Set, Tuple
+
+from ..core.isa.commands import (
+    Command,
+    SDBarrierAll,
+    SDBarrierScratchRd,
+    SDBarrierScratchWr,
+    SDConfig,
+    is_barrier,
+    port_uses,
+)
+from .stats import CommandTrace
+
+#: command-queue capacity between core and dispatcher
+COMMAND_QUEUE_DEPTH = 16
+
+
+class Dispatcher:
+    """Issue logic with vector-port and stream-engine scoreboards.
+
+    ``busy_ports`` is a counter per port rather than a set: the
+    all-requests-in-flight optimisation (Section 4.2) lets a memory stream
+    release its port for *issue* while its data is still in flight, so two
+    streams can transiently own the same port — one draining, one issuing.
+    """
+
+    def __init__(self, sim: "SoftbrainSim") -> None:  # noqa: F821
+        self.sim = sim
+        self.queue: Deque[CommandTrace] = deque()
+        self.busy_ports: Dict[Tuple[str, int], int] = {}
+        self.issued_total = 0
+
+    # -- core-facing interface ---------------------------------------------------
+
+    def can_enqueue(self) -> bool:
+        if len(self.queue) >= COMMAND_QUEUE_DEPTH:
+            return False
+        return not any(
+            isinstance(t.command, SDBarrierAll) for t in self.queue
+        )
+
+    def enqueue(self, command: Command, cycle: int) -> CommandTrace:
+        if not self.can_enqueue():
+            raise RuntimeError("dispatcher queue not ready (core should stall)")
+        trace = self.sim.timeline.note_enqueue(command, cycle)
+        self.queue.append(trace)
+        return trace
+
+    @property
+    def drained(self) -> bool:
+        return not self.queue
+
+    # -- issue logic ----------------------------------------------------------------
+
+    def tick(self, cycle: int) -> bool:
+        """Issue at most one command per cycle.
+
+        The scan preserves the architecture's ordering rules: streams that
+        touch the *same* port issue in program order, but a stream whose
+        ports are free may issue past an earlier stalled stream on other
+        ports (Section 4.2's scoreboard — without this, the paper's own
+        Figure 6 command sequence would deadlock on the reset-constant /
+        clean pair).  Barriers order everything behind them.
+        """
+        if not self.queue:
+            return False
+        if self.sim.config_pending:
+            return False  # reconfiguration in flight orders everything
+
+        blocked: Set[Tuple[str, int]] = set()
+        for position, trace in enumerate(self.queue):
+            command = trace.command
+
+            if is_barrier(command):
+                if position == 0 and self._barrier_met(command):
+                    self.queue.popleft()
+                    trace.dispatched = cycle
+                    trace.completed = cycle
+                    return True
+                return False  # nothing may pass a pending barrier
+
+            if isinstance(command, SDConfig) and not self._resources_free(command):
+                return False  # nothing may pass a pending reconfiguration
+
+            ports = {
+                (p.kind, p.port_id, role) for p, role in port_uses(command)
+            }
+            if ports & blocked:
+                blocked |= ports  # later same-port streams must also wait
+                continue
+            if not self._resources_free(command):
+                blocked |= ports
+                continue
+            blocked |= ports  # even if issued, later same-port cmds wait
+
+            del self.queue[position]
+            trace.dispatched = cycle
+            for key in ports:
+                self.busy_ports[key] = self.busy_ports.get(key, 0) + 1
+            self.sim.issue_to_engine(command, trace)
+            self.issued_total += 1
+            self.sim.stats.commands_issued += 1
+            return True
+        return False
+
+    def _resources_free(self, command: Command) -> bool:
+        engine = self.sim.engines[command.engine]
+        if not engine.has_free_slot():
+            return False
+        for port, role in port_uses(command):
+            if self.busy_ports.get((port.kind, port.port_id, role), 0):
+                return False
+        if isinstance(command, SDConfig):
+            # Reconfiguration must wait until the whole unit quiesces: the
+            # port mapping and datapath are about to change.
+            return self.sim.quiesced()
+        return True
+
+    def _barrier_met(self, command: Command) -> bool:
+        if isinstance(command, SDBarrierScratchRd):
+            return self.sim.outstanding["scratch_rd"] == 0
+        if isinstance(command, SDBarrierScratchWr):
+            return self.sim.outstanding["scratch_wr"] == 0
+        assert isinstance(command, SDBarrierAll)
+        return self.sim.quiesced()
+
+    # -- completion callbacks ---------------------------------------------------------
+
+    def release_port(self, kind: str, port_id: int, role: str) -> None:
+        key = (kind, port_id, role)
+        count = self.busy_ports.get(key, 0)
+        if count <= 1:
+            self.busy_ports.pop(key, None)
+        else:
+            self.busy_ports[key] = count - 1

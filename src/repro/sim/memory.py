@@ -1,0 +1,178 @@
+"""Memory substrate: functional backing store + cache timing model.
+
+Softbrain's memory stream engine talks to a wide-interface L2-class cache
+(Section 4.3): 64-byte requests, one accepted per cycle, with misses served
+by a DRAM model with its own latency and bandwidth.  The same object holds
+the *functional* byte-addressable contents (a sparse page store, since
+stream programs use scattered address regions) and the *timing* model that
+tells the stream engines when a request's data is available.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.isa.patterns import LINE_BYTES
+
+_PAGE_BITS = 12
+_PAGE_BYTES = 1 << _PAGE_BITS
+
+
+@dataclass
+class MemoryParams:
+    """Timing knobs for the cache/memory hierarchy.
+
+    Defaults model the paper's standalone-device setup: an L2-class cache
+    with a 64 B/cycle interface, and DRAM sustaining one line per
+    ``dram_gap_cycles`` (4 -> 16 B/cycle, roughly half a DDR3 channel at
+    1 GHz, matching the memory-bandwidth-sensitivity the DNN results show).
+    """
+
+    l2_size_bytes: int = 2 * 1024 * 1024
+    l2_hit_latency: int = 12
+    dram_latency: int = 90
+    dram_gap_cycles: int = 4
+    accepts_per_cycle: int = 1
+
+
+class BackingStore:
+    """Sparse byte-addressable functional memory."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page_id = addr >> _PAGE_BITS
+        page = self._pages.get(page_id)
+        if page is None:
+            page = bytearray(_PAGE_BYTES)
+            self._pages[page_id] = page
+        return page
+
+    def read(self, addr: int, size: int) -> bytes:
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page = self._page(addr + pos)
+            offset = (addr + pos) & (_PAGE_BYTES - 1)
+            chunk = min(size - pos, _PAGE_BYTES - offset)
+            out[pos : pos + chunk] = page[offset : offset + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page = self._page(addr + pos)
+            offset = (addr + pos) & (_PAGE_BYTES - 1)
+            chunk = min(size - pos, _PAGE_BYTES - offset)
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    def read_word(self, addr: int, size: int = 8, signed: bool = False) -> int:
+        return int.from_bytes(self.read(addr, size), "little", signed=signed)
+
+    def read_extended(self, addr: int, size: int, signed: bool) -> int:
+        """Read a narrow element as a raw 64-bit word (zero/sign-extended)."""
+        value = int.from_bytes(self.read(addr, size), "little", signed=signed)
+        return value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def write_word(self, addr: int, value: int, size: int = 8) -> None:
+        self.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+
+@dataclass
+class MemoryStats:
+    """Traffic counters for the power model and reports."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+
+class MemorySystem:
+    """Functional contents + request timing for the memory interface.
+
+    Timing contract: :meth:`issue` is called with the current cycle and a
+    line address; it returns the cycle at which the request's data is
+    available (read) or globally visible (write).  The interface accepts at
+    most ``accepts_per_cycle`` requests per cycle; callers must not call
+    :meth:`issue` unless :meth:`can_accept` said yes this cycle.
+    """
+
+    def __init__(self, params: Optional[MemoryParams] = None) -> None:
+        self.params = params or MemoryParams()
+        self.store = BackingStore()
+        self.stats = MemoryStats()
+        self._cached_lines: "OrderedDict[int, None]" = OrderedDict()
+        self._capacity_lines = self.params.l2_size_bytes // LINE_BYTES
+        self._accepted_at: int = -1
+        self._accepted_count: int = 0
+        self._dram_free_at: int = 0
+
+    # -- functional -----------------------------------------------------------
+
+    def preload(self, addr: int, data: bytes) -> None:
+        """Initialise memory contents before simulation."""
+        self.store.write(addr, data)
+
+    # -- timing -----------------------------------------------------------------
+
+    def can_accept(self, cycle: int) -> bool:
+        if cycle != self._accepted_at:
+            return True
+        return self._accepted_count < self.params.accepts_per_cycle
+
+    def _note_accept(self, cycle: int) -> None:
+        if cycle != self._accepted_at:
+            self._accepted_at = cycle
+            self._accepted_count = 0
+        self._accepted_count += 1
+
+    def _touch_line(self, line_addr: int) -> bool:
+        """LRU lookup/fill; returns True on hit."""
+        hit = line_addr in self._cached_lines
+        if hit:
+            self._cached_lines.move_to_end(line_addr)
+        else:
+            self._cached_lines[line_addr] = None
+            if len(self._cached_lines) > self._capacity_lines:
+                self._cached_lines.popitem(last=False)
+        return hit
+
+    def issue(self, cycle: int, line_addr: int, is_write: bool, nbytes: int) -> int:
+        """Issue one line request; returns the data-ready cycle."""
+        if not self.can_accept(cycle):
+            raise RuntimeError("memory interface over-subscribed this cycle")
+        self._note_accept(cycle)
+        hit = self._touch_line(line_addr)
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        if hit:
+            self.stats.hits += 1
+            return cycle + self.params.l2_hit_latency
+        self.stats.misses += 1
+        start = max(cycle, self._dram_free_at)
+        self._dram_free_at = start + self.params.dram_gap_cycles
+        return start + self.params.dram_latency
+
+    def warm(self, addr: int, nbytes: int) -> None:
+        """Mark an address range as L2-resident (for warm-cache runs)."""
+        first = (addr // LINE_BYTES) * LINE_BYTES
+        last = addr + nbytes
+        for line in range(first, last, LINE_BYTES):
+            self._touch_line(line)

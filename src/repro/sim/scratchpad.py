@@ -1,0 +1,66 @@
+"""Programmable scratchpad: the private address space for data reuse.
+
+A single-read-, single-write-ported SRAM (Section 4.3), 64 bytes wide —
+sized proportional to the CGRA's maximum consumption rate.  The scratchpad
+stream engine may perform one read-stream access and one write-stream
+access per cycle; the dispatcher's scratch barriers order readers against
+writers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ScratchpadError(ValueError):
+    """Out-of-range scratchpad access (the address space is private)."""
+
+
+@dataclass
+class ScratchpadStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class Scratchpad:
+    """Functional contents and access counters of the scratchpad SRAM."""
+
+    def __init__(self, size_bytes: int = 4096, width_bytes: int = 64) -> None:
+        if size_bytes <= 0 or size_bytes % width_bytes:
+            raise ValueError("scratchpad size must be a positive multiple of width")
+        self.size_bytes = size_bytes
+        self.width_bytes = width_bytes
+        self._data = bytearray(size_bytes)
+        self.stats = ScratchpadStats()
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size_bytes:
+            raise ScratchpadError(
+                f"scratch access [{addr}, {addr + size}) outside "
+                f"0..{self.size_bytes}"
+            )
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        return bytes(self._data[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self._data[addr : addr + len(data)] = data
+
+    def read_word(self, addr: int, size: int = 8, signed: bool = False) -> int:
+        return int.from_bytes(self.read(addr, size), "little", signed=signed)
+
+    def read_extended(self, addr: int, size: int, signed: bool) -> int:
+        """Read a narrow element as a raw 64-bit word (zero/sign-extended)."""
+        value = int.from_bytes(self.read(addr, size), "little", signed=signed)
+        return value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def write_word(self, addr: int, value: int, size: int = 8) -> None:
+        self.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))

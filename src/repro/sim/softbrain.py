@@ -1,0 +1,290 @@
+"""Softbrain: the top-level cycle-level simulator (Figure 7).
+
+One Softbrain unit = control core + stream dispatcher + three stream-engine
+groups + vector ports + CGRA, attached to a scratchpad and the memory
+hierarchy.  :func:`run_program` is the main entry point::
+
+    result = run_program(program, fabric=dnn_provisioned())
+    print(result.stats.cycles)
+
+The main loop is cycle-stepped with event-driven fast-forward: when no
+component can make progress in a cycle, the clock jumps to the next pending
+event (memory completion, CGRA pipeline exit).  A cycle with no progress
+*and* no pending events is a deadlock and raises
+:class:`SimulationDeadlock` with a component dump — the situation the
+paper's balance unit and buffering rules exist to prevent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..cgra.fabric import Fabric, dnn_provisioned
+from ..core.isa.commands import (
+    Command,
+    PortRef,
+    SDConfig,
+    SDMemScratch,
+    SDPortScratch,
+    SDScratchPort,
+    port_uses,
+)
+from ..core.isa.program import StreamProgram
+from .cgra_exec import CgraExecutor
+from .control_core import ControlCore
+from .dispatcher import Dispatcher
+from .memory import MemorySystem
+from .scratchpad import Scratchpad
+from .stats import SimStats, Timeline
+from .stream_engine import (
+    ActiveStream,
+    MemReadEngine,
+    MemWriteEngine,
+    RecurrenceEngine,
+    ScratchEngine,
+    StreamEngineBase,
+)
+
+
+class SimulationDeadlock(RuntimeError):
+    """No component can progress and no events are pending."""
+
+
+class SimulationLimit(RuntimeError):
+    """The cycle budget was exhausted before the program finished."""
+
+
+@dataclass
+class SoftbrainParams:
+    """Per-unit structural parameters.
+
+    The two boolean flags ablate the microarchitectural mechanisms of
+    Section 4: the memory read engine's *balance unit* (deadlock avoidance
+    and fairness across vector ports) and the dispatcher's
+    *all-requests-in-flight* port state (overlapping same-port streams).
+    """
+
+    scratch_bytes: int = 4096
+    stream_table_size: int = 8
+    max_cycles: int = 50_000_000
+    balance_unit: bool = True
+    all_requests_in_flight: bool = True
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation produced."""
+
+    stats: SimStats
+    timeline: Timeline
+    memory: MemorySystem
+    scratchpad: Scratchpad
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class SoftbrainSim:
+    """One Softbrain unit plus its memory interface."""
+
+    def __init__(
+        self,
+        program: StreamProgram,
+        fabric: Optional[Fabric] = None,
+        memory: Optional[MemorySystem] = None,
+        params: Optional[SoftbrainParams] = None,
+    ) -> None:
+        self.program = program
+        self.fabric = fabric or dnn_provisioned()
+        self.params = params or SoftbrainParams()
+        self.memory = memory or MemorySystem()
+        self.scratchpad = Scratchpad(self.params.scratch_bytes)
+        self.stats = SimStats()
+        self.timeline = Timeline()
+
+        from .vector_port import VectorPortState
+
+        self.input_ports: Dict[int, VectorPortState] = {
+            p.port_id: VectorPortState(p) for p in self.fabric.input_ports
+        }
+        self.output_ports: Dict[int, VectorPortState] = {
+            p.port_id: VectorPortState(p) for p in self.fabric.output_ports
+        }
+        self.indirect_ports: Dict[int, VectorPortState] = {
+            p.port_id: VectorPortState(p) for p in self.fabric.indirect_ports
+        }
+
+        self.engines: Dict[str, StreamEngineBase] = {
+            "mse_read": MemReadEngine(self, self.params.stream_table_size),
+            "mse_write": MemWriteEngine(self, self.params.stream_table_size),
+            "sse": ScratchEngine(self, self.params.stream_table_size),
+            "rse": RecurrenceEngine(self, self.params.stream_table_size),
+        }
+        self.dispatcher = Dispatcher(self)
+        self.core = ControlCore(self, program.items)
+        self.cgra: Optional[CgraExecutor] = None
+        self.config_pending = False
+        self.outstanding: Dict[str, int] = {"scratch_rd": 0, "scratch_wr": 0}
+
+        self._events: List = []  # heap of (cycle, seq, fn-or-None)
+        self._event_seq = 0
+        self.cycle = 0
+
+    # -- services used by components --------------------------------------------
+
+    def port_state(self, ref: PortRef):
+        if ref.kind == "in":
+            return self.input_ports[ref.port_id]
+        if ref.kind == "out":
+            return self.output_ports[ref.port_id]
+        return self.indirect_ports[ref.port_id]
+
+    def schedule(self, cycle: int, fn: Optional[Callable[[], None]]) -> None:
+        """Schedule ``fn`` (or a pure wake-up when None) at ``cycle``."""
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, fn))
+
+    def issue_to_engine(self, command: Command, trace) -> None:
+        if isinstance(command, SDConfig):
+            self.config_pending = True
+        if isinstance(command, SDScratchPort):
+            self.outstanding["scratch_rd"] += 1
+        elif isinstance(command, (SDPortScratch, SDMemScratch)):
+            self.outstanding["scratch_wr"] += 1
+        self.engines[command.engine].accept(command, trace)
+
+    def stream_completed(self, stream: ActiveStream, cycle: int) -> None:
+        command = stream.command
+        stream.trace.completed = cycle
+        if isinstance(command, SDScratchPort):
+            self.outstanding["scratch_rd"] -= 1
+        elif isinstance(command, (SDPortScratch, SDMemScratch)):
+            self.outstanding["scratch_wr"] -= 1
+        if not stream.early_released:
+            for port, role in port_uses(command):
+                self.dispatcher.release_port(port.kind, port.port_id, role)
+
+    def apply_config(self, address: int) -> None:
+        image = self.program.config_images.get(address)
+        if image is None:
+            raise RuntimeError(f"no configuration image at 0x{address:x}")
+        if (
+            image.fabric.name != self.fabric.name
+            or image.fabric.mesh.cols != self.fabric.mesh.cols
+            or image.fabric.mesh.rows != self.fabric.mesh.rows
+        ):
+            raise RuntimeError(
+                f"config {image.dfg.name!r} was scheduled for fabric "
+                f"{image.fabric.name!r}, unit has {self.fabric.name!r}"
+            )
+        self.cgra = CgraExecutor(self, image)
+        self.config_pending = False
+
+    def quiesced(self) -> bool:
+        """All issued work is complete (used by SD_Barrier_All and config)."""
+        if any(not engine.idle() for engine in self.engines.values()):
+            return False
+        if self.cgra is not None and self.cgra.in_flight:
+            return False
+        return not self._events
+
+    # -- main loop ------------------------------------------------------------------
+
+    def _finished(self) -> bool:
+        return (
+            self.core.finished
+            and self.dispatcher.drained
+            and self.quiesced()
+        )
+
+    def step(self, cycle: int) -> bool:
+        """Advance all components one cycle; True if anything progressed."""
+        progress = False
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, fn = heapq.heappop(events)
+            if fn is not None:
+                fn()
+            progress = True
+        if self.core.tick(cycle):
+            progress = True
+        if self.dispatcher.tick(cycle):
+            progress = True
+        for engine in self.engines.values():
+            if engine.tick(cycle):
+                progress = True
+        if self.cgra is not None and self.cgra.tick(cycle):
+            progress = True
+        return progress
+
+    def finished(self) -> bool:
+        return self._finished()
+
+    def next_event_cycle(self) -> Optional[int]:
+        return self._events[0][0] if self._events else None
+
+    def finalize(self, cycle: int) -> RunResult:
+        """Record final statistics after the last active cycle."""
+        self.cycle = cycle
+        self.stats.cycles = cycle
+        self.stats.control_instructions = self.core.instructions_executed
+        return RunResult(self.stats, self.timeline, self.memory, self.scratchpad)
+
+    def run(self) -> RunResult:
+        cycle = 0
+        while True:
+            progress = self.step(cycle)
+            if self._finished():
+                break
+            if not progress:
+                next_event = self.next_event_cycle()
+                if next_event is not None:
+                    cycle = max(cycle + 1, next_event)
+                    continue
+                raise SimulationDeadlock(self._deadlock_report(cycle))
+            cycle += 1
+            if cycle > self.params.max_cycles:
+                raise SimulationLimit(
+                    f"exceeded {self.params.max_cycles} cycles in "
+                    f"{self.program.name!r}"
+                )
+        return self.finalize(cycle)
+
+    def _deadlock_report(self, cycle: int) -> str:
+        lines = [f"deadlock at cycle {cycle} in program {self.program.name!r}:"]
+        lines.append(f"  core pc={self.core.pc}/{len(self.core.items)}")
+        lines.append(
+            f"  dispatcher queue={[t.label for t in self.dispatcher.queue]}"
+        )
+        for name, engine in self.engines.items():
+            active = [type(s.command).__name__ for s in engine.streams]
+            lines.append(f"  {name}: {active}")
+        for kind, ports in (
+            ("in", self.input_ports),
+            ("out", self.output_ports),
+            ("ind", self.indirect_ports),
+        ):
+            occupancy = {
+                pid: (p.occupancy, p.reserved)
+                for pid, p in ports.items()
+                if p.occupancy or p.reserved
+            }
+            if occupancy:
+                lines.append(f"  {kind} ports (occ, reserved): {occupancy}")
+        if self.cgra is not None:
+            lines.append(f"  cgra in_flight={self.cgra.in_flight}")
+        return "\n".join(lines)
+
+
+def run_program(
+    program: StreamProgram,
+    fabric: Optional[Fabric] = None,
+    memory: Optional[MemorySystem] = None,
+    params: Optional[SoftbrainParams] = None,
+) -> RunResult:
+    """Simulate a stream program on one Softbrain unit."""
+    sim = SoftbrainSim(program, fabric=fabric, memory=memory, params=params)
+    return sim.run()

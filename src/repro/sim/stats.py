@@ -1,0 +1,112 @@
+"""Simulation statistics and the command-lifetime timeline.
+
+The timeline records, for every stream command, the cycles at which it was
+*enqueued* by the control core, *dispatched* to a stream engine, and
+*completed* — the three events the paper's execution-model figures (4 and 6)
+visualise.  :func:`render_timeline` reproduces those figures as ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.isa.commands import Command
+
+
+@dataclass
+class CommandTrace:
+    """Lifetime of one command through the dispatcher."""
+
+    index: int
+    command: Command
+    enqueued: int
+    dispatched: Optional[int] = None
+    completed: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return type(self.command).__name__.replace("SD", "SD_")
+
+
+@dataclass
+class SimStats:
+    """Aggregate counters produced by one Softbrain simulation."""
+
+    cycles: int = 0
+    instances_fired: int = 0
+    ops_executed: int = 0
+    fu_activity: Dict[str, int] = field(default_factory=dict)
+    engine_busy: Dict[str, int] = field(default_factory=dict)
+    commands_issued: int = 0
+    control_instructions: int = 0
+    config_loads: int = 0
+    cgra_stall_no_input: int = 0
+    cgra_stall_no_output_room: int = 0
+
+    def note_firing(self, ops: int, fu_ops: Dict[str, int]) -> None:
+        self.instances_fired += 1
+        self.ops_executed += ops
+        for fu_name, count in fu_ops.items():
+            self.fu_activity[fu_name] = self.fu_activity.get(fu_name, 0) + count
+
+    def note_engine_busy(self, engine: str) -> None:
+        self.engine_busy[engine] = self.engine_busy.get(engine, 0) + 1
+
+    @property
+    def ops_per_cycle(self) -> float:
+        return self.ops_executed / self.cycles if self.cycles else 0.0
+
+    @property
+    def cgra_utilization(self) -> float:
+        """Fraction of cycles with a new instance entering the pipeline."""
+        return self.instances_fired / self.cycles if self.cycles else 0.0
+
+
+class Timeline:
+    """Ordered command-lifetime records for one simulation."""
+
+    def __init__(self) -> None:
+        self.traces: List[CommandTrace] = []
+
+    def note_enqueue(self, command: Command, cycle: int) -> CommandTrace:
+        trace = CommandTrace(len(self.traces), command, cycle)
+        self.traces.append(trace)
+        return trace
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+def render_timeline(timeline: Timeline, width: int = 72) -> str:
+    """ASCII rendering in the style of the paper's Figures 4(b) and 6.
+
+    Each command gets a row: ``.`` idle, ``q`` enqueued-waiting, ``=``
+    in-flight (dispatched, resource active), ``#`` completion cycle.
+    """
+    if not timeline.traces:
+        return "(empty timeline)"
+    horizon = max(t.completed or t.enqueued for t in timeline.traces) + 1
+    scale = max(1, (horizon + width - 1) // width)
+    cols = (horizon + scale - 1) // scale
+
+    def col(cycle: int) -> int:
+        return min(cols - 1, cycle // scale)
+
+    lines = [f"cycles 0..{horizon - 1}  ({scale} cycles/char)"]
+    for trace in timeline.traces:
+        row = ["."] * cols
+        end = trace.completed if trace.completed is not None else horizon - 1
+        start = trace.dispatched if trace.dispatched is not None else end
+        for c in range(col(trace.enqueued), col(start)):
+            row[c] = "q"
+        for c in range(col(start), col(end) + 1):
+            row[c] = "="
+        if trace.completed is not None:
+            row[col(trace.completed)] = "#"
+        label = f"C{trace.index:<3} {trace.label:<22}"
+        lines.append(f"{label} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Workloads: DNN layers (DianNao set) and MachSuite kernels."""
+
+from .characterization import (
+    CharacterizationRow,
+    DATAPATH,
+    UNSUITABLE,
+    characterize,
+    stream_patterns,
+)
+from .common import (
+    Allocator,
+    BuiltWorkload,
+    VerificationError,
+    check_equal,
+    make_rng,
+    read_words,
+    run_and_verify,
+    write_words,
+)
+
+__all__ = [
+    "Allocator",
+    "BuiltWorkload",
+    "CharacterizationRow",
+    "DATAPATH",
+    "UNSUITABLE",
+    "VerificationError",
+    "characterize",
+    "check_equal",
+    "make_rng",
+    "read_words",
+    "run_and_verify",
+    "stream_patterns",
+    "write_words",
+]

@@ -1,0 +1,96 @@
+"""Shared workload infrastructure: built programs, memory layout, checking.
+
+Every workload — DNN layer or MachSuite kernel — reduces to a
+:class:`BuiltWorkload`: a stream program bound to a fabric, a preloaded
+memory image, and a verifier that checks the simulated results against the
+reference implementation.  :func:`run_and_verify` is the one-stop entry the
+tests, examples and benchmarks all use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cgra.fabric import Fabric
+from ..core.isa.patterns import LINE_BYTES
+from ..core.isa.program import StreamProgram
+from ..sim.memory import MemorySystem
+from ..sim.softbrain import RunResult, SoftbrainParams, run_program
+
+
+class Allocator:
+    """Line-aligned bump allocator for laying out workload arrays."""
+
+    def __init__(self, base: int = 0x1_0000) -> None:
+        self._next = base
+
+    def alloc(self, nbytes: int) -> int:
+        addr = self._next
+        self._next += (nbytes + LINE_BYTES - 1) // LINE_BYTES * LINE_BYTES
+        return addr
+
+
+def write_words(memory: MemorySystem, addr: int, values: Sequence[int],
+                elem_bytes: int = 8) -> None:
+    """Preload an array of integers (two's complement, little endian)."""
+    mask = (1 << (8 * elem_bytes)) - 1
+    data = b"".join((v & mask).to_bytes(elem_bytes, "little") for v in values)
+    memory.preload(addr, data)
+
+
+def read_words(memory: MemorySystem, addr: int, count: int,
+               elem_bytes: int = 8, signed: bool = True) -> List[int]:
+    """Read back an array of integers after simulation."""
+    return [
+        memory.store.read_word(addr + i * elem_bytes, elem_bytes, signed=signed)
+        for i in range(count)
+    ]
+
+
+class VerificationError(AssertionError):
+    """Simulated output differs from the reference implementation."""
+
+
+def check_equal(name: str, got: Sequence[int], expected: Sequence[int]) -> None:
+    if list(got) != list(expected):
+        bad = [
+            (i, g, e)
+            for i, (g, e) in enumerate(zip(got, expected))
+            if g != e
+        ][:8]
+        raise VerificationError(
+            f"{name}: {len(bad)}+ mismatches, first: {bad} "
+            f"(lengths {len(got)} vs {len(expected)})"
+        )
+
+
+@dataclass
+class BuiltWorkload:
+    """A ready-to-simulate workload instance."""
+
+    name: str
+    program: StreamProgram
+    fabric: Fabric
+    memory: MemorySystem
+    verify: Callable[[MemorySystem], None]
+    #: free-form workload facts (sizes, op counts) used by reports
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def run_and_verify(
+    built: BuiltWorkload,
+    params: Optional[SoftbrainParams] = None,
+) -> RunResult:
+    """Simulate a built workload and check its outputs; returns the result."""
+    result = run_program(
+        built.program, fabric=built.fabric, memory=built.memory, params=params
+    )
+    built.verify(built.memory)
+    return result
+
+
+def make_rng(seed: int) -> random.Random:
+    """Deterministic per-workload RNG."""
+    return random.Random(0x5D5D ^ seed)

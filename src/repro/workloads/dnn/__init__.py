@@ -1,0 +1,49 @@
+"""DNN layer workloads (the DianNao comparison set, Section 7.1)."""
+
+
+from .classifier import build_classifier, classifier_dfg, reference_classifier
+from .conv import build_conv, conv_dfg, reference_conv
+from .layers import (
+    ClassifierLayer,
+    ConvLayer,
+    DNN_LAYERS,
+    DNN_LAYERS_BY_NAME,
+    DnnLayer,
+    PoolLayer,
+    gpu_workload,
+    layer_cost,
+)
+from .pooling import build_pool, pool_dfg, reference_pool2
+
+
+def build_dnn_layer(layer, unit_id: int = 0, num_units: int = 1, **kw):
+    """Build a DNN layer (by Figure 11 name or layer object) for one unit."""
+    if isinstance(layer, str):
+        layer = DNN_LAYERS_BY_NAME[layer]
+    if isinstance(layer, ClassifierLayer):
+        return build_classifier(layer, unit_id, num_units, **kw)
+    if isinstance(layer, ConvLayer):
+        return build_conv(layer, unit_id, num_units, **kw)
+    return build_pool(layer, unit_id, num_units, **kw)
+
+
+__all__ = [
+    "ClassifierLayer",
+    "ConvLayer",
+    "DNN_LAYERS",
+    "DNN_LAYERS_BY_NAME",
+    "DnnLayer",
+    "PoolLayer",
+    "build_classifier",
+    "build_conv",
+    "build_dnn_layer",
+    "build_pool",
+    "classifier_dfg",
+    "conv_dfg",
+    "gpu_workload",
+    "layer_cost",
+    "pool_dfg",
+    "reference_classifier",
+    "reference_conv",
+    "reference_pool2",
+]

@@ -1,0 +1,211 @@
+"""DNN layer configurations and their analytical cost models.
+
+The ten layers mirror the paper's Figure 11 benchmark set (classifier,
+pooling and convolutional layers from the DianNao suite), with problem
+sizes scaled down so the cycle-level Python simulator runs in seconds.
+Shapes (aspect ratios, reuse behaviour, arithmetic-intensity class) are
+preserved; every reported result is a ratio against baselines evaluated at
+the *same* scaled sizes, which a scaling test shows is size-stable.
+
+All data is 16-bit fixed point, as in DianNao and the paper's DNN
+provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from ...baselines.cpu import ScalarWorkload
+from ...baselines.diannao import DnnLayerCost
+from ...baselines.gpu import GpuWorkload
+
+ELEM = 2  # bytes per 16-bit value
+
+
+@dataclass(frozen=True)
+class ClassifierLayer:
+    """Fully-connected layer: Nn output neurons over Ni inputs."""
+
+    name: str
+    ni: int
+    nn: int
+
+    kind = "classifier"
+
+    @property
+    def mac_ops(self) -> int:
+        return self.ni * self.nn
+
+    @property
+    def simple_ops(self) -> int:
+        return self.nn  # sigmoid per output neuron
+
+    @property
+    def unique_bytes(self) -> int:
+        return ELEM * (self.ni * self.nn + self.ni + self.nn)
+
+    def cpu_census(self) -> ScalarWorkload:
+        macs = self.mac_ops
+        return ScalarWorkload(
+            name=self.name,
+            int_ops=macs + self.nn,  # adds + sigmoid address math
+            mul_ops=macs,
+            loads=2 * macs,
+            stores=self.nn,
+            branches=macs // 4,  # unrolled-by-4 inner loop
+            critical_path=0,
+            memory_bytes=self.unique_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """Convolutional layer, stride 1, 'valid' padding.
+
+    ``out_w`` is the output row width (input rows are ``out_w + k - 1``).
+    """
+
+    name: str
+    out_w: int
+    out_h: int
+    n_in: int
+    k: int
+    n_out: int
+
+    kind = "conv"
+
+    @property
+    def in_w(self) -> int:
+        return self.out_w + self.k - 1
+
+    @property
+    def in_h(self) -> int:
+        return self.out_h + self.k - 1
+
+    @property
+    def mac_ops(self) -> int:
+        return self.out_w * self.out_h * self.n_out * self.k * self.k * self.n_in
+
+    @property
+    def simple_ops(self) -> int:
+        return self.out_w * self.out_h * self.n_out  # activation
+
+    @property
+    def unique_bytes(self) -> int:
+        weights = self.n_out * self.n_in * self.k * self.k
+        inputs = self.n_in * self.in_w * self.in_h
+        outputs = self.n_out * self.out_w * self.out_h
+        return ELEM * (weights + inputs + outputs)
+
+    def cpu_census(self) -> ScalarWorkload:
+        macs = self.mac_ops
+        return ScalarWorkload(
+            name=self.name,
+            int_ops=macs + 2 * self.simple_ops,
+            mul_ops=macs,
+            loads=2 * macs,
+            stores=self.simple_ops,
+            branches=macs // 4,
+            critical_path=0,
+            memory_bytes=self.unique_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """Pooling layer: ``window`` x ``window`` avg or max, stride = window."""
+
+    name: str
+    in_w: int
+    in_h: int
+    maps: int
+    window: int  # 2 or 4 (4 runs as two 2x2 passes)
+    mode: str = "avg"  # "avg" | "max"
+
+    kind = "pool"
+
+    def __post_init__(self) -> None:
+        if self.window not in (2, 4):
+            raise ValueError("pool window must be 2 or 4")
+        if self.mode not in ("avg", "max"):
+            raise ValueError("pool mode must be avg or max")
+
+    @property
+    def out_w(self) -> int:
+        return self.in_w // self.window
+
+    @property
+    def out_h(self) -> int:
+        return self.in_h // self.window
+
+    @property
+    def mac_ops(self) -> int:
+        return 0
+
+    @property
+    def simple_ops(self) -> int:
+        # window^2 - 1 combines + 1 scale per output, per map
+        per_out = self.window * self.window
+        return self.maps * self.out_w * self.out_h * per_out
+
+    @property
+    def unique_bytes(self) -> int:
+        return ELEM * self.maps * (
+            self.in_w * self.in_h + self.out_w * self.out_h
+        )
+
+    def cpu_census(self) -> ScalarWorkload:
+        ops = self.simple_ops
+        return ScalarWorkload(
+            name=self.name,
+            int_ops=ops,
+            loads=self.maps * self.in_w * self.in_h,
+            stores=self.maps * self.out_w * self.out_h,
+            branches=ops // 4,
+            critical_path=0,
+            memory_bytes=self.unique_bytes,
+        )
+
+
+DnnLayer = Union[ClassifierLayer, ConvLayer, PoolLayer]
+
+
+#: the Figure 11 benchmark set (scaled sizes, shapes preserved)
+DNN_LAYERS: List[DnnLayer] = [
+    ClassifierLayer("class1p", ni=784, nn=64),
+    ClassifierLayer("class3p", ni=512, nn=128),
+    PoolLayer("pool1p", in_w=32, in_h=32, maps=16, window=2, mode="avg"),
+    PoolLayer("pool3p", in_w=32, in_h=32, maps=32, window=2, mode="max"),
+    PoolLayer("pool5p", in_w=16, in_h=16, maps=64, window=4, mode="avg"),
+    ConvLayer("conv1p", out_w=16, out_h=16, n_in=4, k=3, n_out=8),
+    ConvLayer("conv2p", out_w=16, out_h=16, n_in=4, k=5, n_out=4),
+    ConvLayer("conv3p", out_w=8, out_h=8, n_in=8, k=5, n_out=8),
+    ConvLayer("conv4p", out_w=8, out_h=8, n_in=8, k=3, n_out=16),
+    ConvLayer("conv5p", out_w=4, out_h=4, n_in=16, k=3, n_out=16),
+]
+
+DNN_LAYERS_BY_NAME: Dict[str, DnnLayer] = {l.name: l for l in DNN_LAYERS}
+
+
+def layer_cost(layer: DnnLayer) -> DnnLayerCost:
+    """Cost inputs for the DianNao analytical model."""
+    return DnnLayerCost(
+        name=layer.name,
+        mac_ops=layer.mac_ops,
+        simple_ops=layer.simple_ops,
+        unique_bytes=layer.unique_bytes,
+        refetch_factor=1.5 if layer.kind == "pool" else 1.0,
+    )
+
+
+def gpu_workload(layer: DnnLayer) -> GpuWorkload:
+    """Cost inputs for the GPU roofline model."""
+    return GpuWorkload(
+        name=layer.name,
+        kind=layer.kind,
+        mac_ops=layer.mac_ops,
+        simple_ops=layer.simple_ops,
+        memory_bytes=layer.unique_bytes,
+        kernels=2 if layer.kind == "pool" and layer.window == 4 else 1,
+    )

@@ -1,0 +1,177 @@
+"""MachSuite ``backprop`` (one MLP layer update) — extension workload.
+
+The backward pass the paper's footnote 3 lists as fitting the paradigm.
+For a fully-connected layer with activations ``act`` and output-error
+``delta``, the weight update is an outer product::
+
+    W[i][j] -= (act[i] * delta[j]) >> SHIFT      (fixed-point learning rate)
+
+Streamed as: per input neuron i, the delta row streams linearly (4-wide),
+``act[i]`` broadcasts from a constant stream, the current weight row
+streams in, and the updated row streams out to a ping-pong buffer (reading
+and writing the same rows within one phase is the ISA's undefined case).
+Also computes the back-propagated error ``err[i] = sum_j W[i][j]*delta[j]``
+with the accumulate/reset idiom, making this a two-output-port datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...baselines.asic.ddg import Ddg, TraceBuilder
+from ...baselines.asic.schedule import AsicDesign
+from ...baselines.cpu import ScalarWorkload
+from ...cgra.fabric import Fabric, broadly_provisioned
+from ...core.compiler.scheduler import schedule
+from ...core.dfg.builder import DfgBuilder
+from ...core.dfg.graph import Dfg
+from ...core.isa.program import StreamProgram
+from ...sim.memory import MemorySystem
+from ..common import Allocator, BuiltWorkload, check_equal, make_rng, read_words, write_words
+
+#: layer shape (inputs x outputs), scaled for simulator speed
+N_IN = 24
+N_OUT = 16
+#: fixed-point learning-rate shift (lr = 2^-SHIFT)
+SHIFT = 4
+#: outputs per instance — 4-way fills the 20-FU fabric exactly
+#: (4 x (2 mul + shr + sub) + 3-add tree + accumulator = 20 instructions)
+WAY = 4
+
+
+def backprop_dfg() -> Dfg:
+    """W(4) x D(4) x broadcast act(1) -> updated weights + error sum."""
+    b = DfgBuilder("backprop")
+    w = b.input("W", WAY)
+    d = b.input("D", WAY)
+    act = b.input("A", 1)
+    r = b.input("R", 1)
+    new_w = []
+    contribs = []
+    for j in range(WAY):
+        gradient = b.op("shr", b.mul(act[0], d[j]), SHIFT)
+        new_w.append(b.sub(w[j], gradient))
+        contribs.append(b.mul(w[j], d[j]))
+    b.output("NW", new_w)
+    b.output("E", b.accumulate(b.reduce_tree("add", contribs), r[0]))
+    return b.build()
+
+
+def reference_backprop(
+    weights: List[List[int]], act: List[int], delta: List[int]
+) -> Tuple[List[List[int]], List[int]]:
+    """(updated weights, back-propagated error), exact datapath arithmetic."""
+    new_weights = [
+        [w - ((a * d) >> SHIFT) for w, d in zip(row, delta)]
+        for row, a in zip(weights, act)
+    ]
+    err = [sum(w * d for w, d in zip(row, delta)) for row in weights]
+    return new_weights, err
+
+
+def build_backprop(
+    fabric: Fabric = None,
+    seed: int = 20,
+    n_in: int = N_IN,
+    n_out: int = N_OUT,
+) -> BuiltWorkload:
+    if n_out % WAY:
+        raise ValueError(f"n_out must be a multiple of {WAY}")
+    fabric = fabric or broadly_provisioned()
+    rng = make_rng(seed)
+    weights = [
+        [rng.randint(-100, 100) for _ in range(n_out)] for _ in range(n_in)
+    ]
+    act = [rng.randint(0, 60) for _ in range(n_in)]
+    delta = [rng.randint(-40, 40) for _ in range(n_out)]
+    exp_weights, exp_err = reference_backprop(weights, act, delta)
+
+    memory = MemorySystem()
+    alloc = Allocator()
+    row_bytes = n_out * 8
+    w_addr = alloc.alloc(n_in * row_bytes)
+    w_new_addr = alloc.alloc(n_in * row_bytes)  # ping-pong destination
+    d_addr = alloc.alloc(n_out * 8)
+    e_addr = alloc.alloc(n_in * 8)
+    for i, row in enumerate(weights):
+        write_words(memory, w_addr + i * row_bytes, row)
+    write_words(memory, d_addr, delta)
+
+    dfg = backprop_dfg()
+    config = schedule(dfg, fabric)
+    program = StreamProgram("backprop", config)
+
+    blocks = n_out // WAY
+    for i in range(n_in):
+        program.const_port(act[i], blocks, "A")
+        if blocks > 1:
+            program.const_port(0, blocks - 1, "R")
+            program.clean_port(blocks - 1, "E")
+        program.const_port(1, 1, "R")
+        program.port_mem("E", 8, 8, 1, e_addr + i * 8)
+        program.mem_port(w_addr + i * row_bytes, row_bytes, row_bytes, 1, "W")
+        program.mem_port(d_addr, n_out * 8, n_out * 8, 1, "D")
+        program.port_mem("NW", row_bytes, row_bytes, 1, w_new_addr + i * row_bytes)
+        program.host(3)  # neuron loop
+    program.barrier_all()
+
+    def verify(mem: MemorySystem) -> None:
+        for i in range(n_in):
+            got = read_words(mem, w_new_addr + i * row_bytes, n_out)
+            check_equal(f"backprop weights[{i}]", got, exp_weights[i])
+        got_err = read_words(mem, e_addr, n_in)
+        check_equal("backprop error", got_err, exp_err)
+
+    return BuiltWorkload(
+        name="backprop",
+        program=program,
+        fabric=fabric,
+        memory=memory,
+        verify=verify,
+        meta={
+            "n_in": n_in,
+            "n_out": n_out,
+            "instances": n_in * blocks,
+            "macs": 2 * n_in * n_out,
+        },
+    )
+
+
+def backprop_ddg(n_in: int = N_IN, n_out: int = N_OUT, seed: int = 20) -> Ddg:
+    rng = make_rng(seed)
+    weights = [rng.randint(-100, 100) for _ in range(n_in * n_out)]
+    act = [rng.randint(0, 60) for _ in range(n_in)]
+    delta = [rng.randint(-40, 40) for _ in range(n_out)]
+    t = TraceBuilder("backprop")
+    t.array("w", weights)
+    t.array("act", act)
+    t.array("delta", delta)
+    t.array("err", [0] * n_in)
+    for i in range(n_in):
+        a = t.load("act", i)
+        total = t.const(0)
+        for j in range(n_out):
+            w = t.load("w", i * n_out + j)
+            d = t.load("delta", j)
+            total = t.add(total, t.mul(w, d))
+            gradient = t.shift_right(t.mul(a, d), SHIFT)
+            t.store("w", i * n_out + j, t.sub(w, gradient))
+        t.store("err", i, total)
+    return t.ddg
+
+
+def backprop_asic_base() -> AsicDesign:
+    return AsicDesign(base_alu=2, base_mul=2)
+
+
+def backprop_census(n_in: int = N_IN, n_out: int = N_OUT) -> ScalarWorkload:
+    pairs = n_in * n_out
+    return ScalarWorkload(
+        name="backprop",
+        int_ops=3 * pairs,
+        mul_ops=2 * pairs,
+        loads=3 * pairs,
+        stores=pairs + n_in,
+        branches=pairs // 4,
+        memory_bytes=8 * (pairs + n_in + n_out),
+    )

@@ -1,0 +1,204 @@
+"""MachSuite ``bfs``: breadth-first search (Table 4: indirect loads +
+recurrence, compare/increment datapath).
+
+Pull-based level-synchronous formulation: the host prepares the transposed
+adjacency (incoming-edge lists, a one-time layout step), and each sweep
+computes ``level[n] = min(level[n], 1 + min over in-neighbours s of
+level[s])`` — per node, a gather stream fetches the in-neighbour levels
+through an indirect port, a min-accumulator reduces them, and the single
+store per node makes every memory location single-writer (the push/scatter
+variant needs a conditional store, i.e. data-dependent control, which is
+exactly the kind of code the paper assigns back to the host core).
+Unvisited nodes carry a large sentinel so ``min`` is the discovery
+operator; ``depth`` sweeps reach the fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...baselines.asic.ddg import Ddg, TraceBuilder
+from ...baselines.asic.schedule import AsicDesign
+from ...baselines.cpu import ScalarWorkload
+from ...cgra.fabric import Fabric, broadly_provisioned
+from ...core.compiler.scheduler import schedule
+from ...core.dfg.builder import DfgBuilder
+from ...core.dfg.graph import Dfg
+from ...core.isa.program import StreamProgram
+from ...sim.memory import MemorySystem
+from ..common import Allocator, BuiltWorkload, check_equal, make_rng, read_words, write_words
+
+#: graph size (nodes / directed edges), scaled for simulator speed
+N_NODES = 96
+N_EDGES = 384
+
+#: "unvisited" sentinel (large so min() is the discovery operator)
+UNVISITED = 1 << 40
+
+
+def bfs_dfg() -> Dfg:
+    """min-accumulate gathered levels, +1, min with the node's own level."""
+    b = DfgBuilder("bfs")
+    s = b.input("S", 1)  # gathered level[src] for each incoming edge
+    d = b.input("D", 1)  # this node's current level (repeating stream)
+    r = b.input("R", 1)
+    best_parent = b.op("accmin", s[0], r[0])
+    b.output("NL", b.min(d[0], b.add(best_parent, 1)))
+    return b.build()
+
+
+def make_graph(rng, n: int, e: int) -> List[Tuple[int, int]]:
+    """Random reachable digraph: a random tree plus extra edges."""
+    edges = []
+    for v in range(1, n):
+        edges.append((rng.randrange(v), v))
+    while len(edges) < e:
+        a, bb = rng.randrange(n), rng.randrange(n)
+        if a != bb:
+            edges.append((a, bb))
+    rng.shuffle(edges)
+    return edges
+
+
+def reference_bfs(edges: List[Tuple[int, int]], n: int, root: int) -> List[int]:
+    """BFS levels over the directed edge list (-1 for unreachable)."""
+    level = [-1] * n
+    level[root] = 0
+    frontier = [root]
+    current = 0
+    while frontier:
+        next_frontier = []
+        for a, bb in edges:
+            if level[a] == current and level[bb] == -1:
+                level[bb] = current + 1
+                next_frontier.append(bb)
+        frontier = next_frontier
+        current += 1
+    return level
+
+
+def in_edge_lists(edges: List[Tuple[int, int]], n: int) -> List[List[int]]:
+    incoming: List[List[int]] = [[] for _ in range(n)]
+    for a, bb in edges:
+        incoming[bb].append(a)
+    return incoming
+
+
+def build_bfs(
+    fabric: Fabric = None, seed: int = 15, n: int = N_NODES, e: int = N_EDGES
+) -> BuiltWorkload:
+    fabric = fabric or broadly_provisioned()
+    rng = make_rng(seed)
+    edges = make_graph(rng, n, e)
+    root = 0
+    expected = reference_bfs(edges, n, root)
+    depth = max(l for l in expected if l >= 0)
+    incoming = in_edge_lists(edges, n)
+
+    memory = MemorySystem()
+    alloc = Allocator()
+    flat_in = [s for row in incoming for s in row]
+    in_ptr = [0]
+    for row in incoming:
+        in_ptr.append(in_ptr[-1] + len(row))
+    # Static index arrays (host-prepared once): the flattened in-neighbour
+    # list, and each node's own id repeated per in-edge so the node's
+    # current level can be gathered edge-aligned by one long stream.
+    dup_node = [node for node, row in enumerate(incoming) for _ in row]
+    in_addr = alloc.alloc(max(1, len(flat_in)) * 8)
+    dup_addr = alloc.alloc(max(1, len(dup_node)) * 8)
+    lvl_addr = alloc.alloc(n * 8)
+    write_words(memory, in_addr, flat_in)
+    write_words(memory, dup_addr, dup_node)
+    write_words(memory, lvl_addr, [0] + [UNVISITED] * (n - 1))
+
+    dfg = bfs_dfg()
+    config = schedule(dfg, fabric)
+    program = StreamProgram("bfs", config)
+
+    ne = len(flat_in)
+    for _sweep in range(depth):
+        # Long whole-frontier streams; only the per-node accumulator
+        # coordination and the single-word stores are short commands.
+        program.mem_to_indirect(in_addr, ne, 0)
+        program.ind_port_port(0, lvl_addr, "S", ne)
+        program.mem_to_indirect(dup_addr, ne, 1)
+        program.ind_port_port(1, lvl_addr, "D", ne)
+        for node in range(n):
+            indeg = len(incoming[node])
+            if indeg == 0:
+                continue
+            if indeg > 1:
+                program.const_port(0, indeg - 1, "R")
+                program.clean_port(indeg - 1, "NL")
+            program.const_port(1, 1, "R")
+            program.port_mem("NL", 8, 8, 1, lvl_addr + node * 8)
+            program.host(4)  # node loop: in_ptr loads + address updates
+        program.barrier_all()  # next sweep must see all level stores
+        program.host(2)
+
+    def verify(mem: MemorySystem) -> None:
+        got = read_words(mem, lvl_addr, n, signed=False)
+        encoded = [l if l >= 0 else UNVISITED for l in expected]
+        check_equal("bfs levels", got, encoded)
+
+    return BuiltWorkload(
+        name="bfs",
+        program=program,
+        fabric=fabric,
+        memory=memory,
+        verify=verify,
+        meta={
+            "nodes": n,
+            "edges": len(edges),
+            "depth": depth,
+            "instances": len(flat_in) * depth,
+        },
+    )
+
+
+def bfs_ddg(n: int = N_NODES, e: int = N_EDGES, seed: int = 15) -> Ddg:
+    rng = make_rng(seed)
+    edges = make_graph(rng, n, e)
+    expected = reference_bfs(edges, n, 0)
+    depth = max(l for l in expected if l >= 0)
+    incoming = in_edge_lists(edges, n)
+    flat_in = [s for row in incoming for s in row]
+    t = TraceBuilder("bfs")
+    t.array("in_src", flat_in)
+    t.array("level", [0] + [UNVISITED] * (n - 1))
+    one = t.const(1)
+    for _sweep in range(depth):
+        offset = 0
+        for node in range(n):
+            indeg = len(incoming[node])
+            if indeg == 0:
+                continue
+            best = None
+            for j in range(indeg):
+                src = t.load("in_src", offset + j)
+                lvl = t.load("level", src.value)
+                best = lvl if best is None else t.minimum(best, lvl)
+            candidate = t.add(best, one)
+            t.store("level", node, t.minimum(t.load("level", node), candidate))
+            offset += indeg
+    return t.ddg
+
+
+def bfs_asic_base() -> AsicDesign:
+    return AsicDesign(base_alu=4, base_mul=1, mem_ports_per_partition=2)
+
+
+def bfs_census(n: int = N_NODES, e: int = N_EDGES) -> ScalarWorkload:
+    depth = 6  # typical for these graph parameters
+    work = e * depth
+    return ScalarWorkload(
+        name="bfs",
+        int_ops=2 * work,
+        loads=3 * work,
+        stores=n * depth,
+        branches=2 * work,
+        memory_bytes=8 * (e + n),
+        critical_path=depth * 12,  # level serialisation
+        mispredict_rate=0.12,  # data-dependent discovery branches
+    )

@@ -1,0 +1,164 @@
+"""MachSuite ``stencil`` (2D): 3x3 weighted stencil (Table 4: affine +
+recurrence, 8-way multiply-accumulate).
+
+Single-plane convolution structure at 64-bit: input windows stream with
+overlapped affine patterns, the 3x3 filter broadcasts one weight per
+instance, and eight in-fabric accumulators reduce the 9 (ky, kx) instances
+per 8-wide output block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...baselines.asic.ddg import Ddg, TraceBuilder
+from ...baselines.asic.schedule import AsicDesign
+from ...baselines.cpu import ScalarWorkload
+from ...cgra.fabric import Fabric, broadly_provisioned
+from ...core.compiler.scheduler import schedule
+from ...core.dfg.builder import DfgBuilder
+from ...core.dfg.graph import Dfg
+from ...core.isa.program import StreamProgram
+from ...sim.memory import MemorySystem
+from ..common import Allocator, BuiltWorkload, check_equal, make_rng, read_words, write_words
+
+#: grid dimensions (input HEIGHT x WIDTH; output shrinks by 2)
+WIDTH = 34
+HEIGHT = 18
+K = 3
+WAY = 8  # outputs per instance
+
+
+def stencil2d_dfg() -> Dfg:
+    """A(8) x broadcast W(1) -> 8 accumulators -> C(8)."""
+    b = DfgBuilder("stencil2d")
+    a = b.input("A", WAY)
+    w = b.input("B", 1)
+    r = b.input("R", 1)
+    outs = [b.accumulate(b.mul(a[j], w[0]), r[0]) for j in range(WAY)]
+    b.output("C", outs)
+    return b.build()
+
+
+def reference_stencil2d(
+    grid: List[List[int]], filt: List[List[int]]
+) -> List[List[int]]:
+    out_h, out_w = len(grid) - 2, len(grid[0]) - 2
+    out = [[0] * out_w for _ in range(out_h)]
+    for y in range(out_h):
+        for x in range(out_w):
+            out[y][x] = sum(
+                filt[ky][kx] * grid[y + ky][x + kx]
+                for ky in range(K)
+                for kx in range(K)
+            )
+    return out
+
+
+def build_stencil2d(
+    fabric: Fabric = None, seed: int = 11, width: int = WIDTH, height: int = HEIGHT
+) -> BuiltWorkload:
+    out_w, out_h = width - 2, height - 2
+    if out_w % WAY:
+        raise ValueError(f"output width must be a multiple of {WAY}")
+    fabric = fabric or broadly_provisioned()
+    rng = make_rng(seed)
+    grid = [[rng.randint(-100, 100) for _ in range(width)] for _ in range(height)]
+    filt = [[rng.randint(-8, 8) for _ in range(K)] for _ in range(K)]
+    expected = reference_stencil2d(grid, filt)
+
+    memory = MemorySystem()
+    alloc = Allocator()
+    row_bytes = width * 8
+    grid_addr = alloc.alloc(height * row_bytes)
+    filt_addr = alloc.alloc(K * K * 8)
+    out_addr = alloc.alloc(out_h * out_w * 8)
+    for y, row in enumerate(grid):
+        write_words(memory, grid_addr + y * row_bytes, row)
+    write_words(
+        memory, filt_addr, [filt[ky][kx] for ky in range(K) for kx in range(K)]
+    )
+
+    dfg = stencil2d_dfg()
+    config = schedule(dfg, fabric)
+    program = StreamProgram("stencil2d", config)
+
+    kk = K * K
+    blocks = out_w // WAY
+    for y in range(out_h):
+        for block in range(blocks):
+            x0 = block * WAY
+            program.const_port(0, kk - 1, "R")
+            program.const_port(1, 1, "R")
+            program.clean_port((kk - 1) * WAY, "C")
+            program.port_mem("C", 64, WAY * 8, 1, out_addr + (y * out_w + x0) * 8)
+            # The 9 filter weights, one word per (ky, kx) instance.
+            program.mem_port(filt_addr, kk * 8, kk * 8, 1, "B")
+            # Per kernel row, the K shifted window views (overlapped).
+            for ky in range(K):
+                start = grid_addr + (y + ky) * row_bytes + x0 * 8
+                program.mem_port(start, 8, WAY * 8, K, "A")
+            program.host(3)
+        program.host(2)
+    program.barrier_all()
+
+    def verify(mem: MemorySystem) -> None:
+        for y in range(out_h):
+            got = read_words(mem, out_addr + y * out_w * 8, out_w)
+            check_equal(f"stencil2d[row {y}]", got, expected[y])
+
+    return BuiltWorkload(
+        name="stencil",
+        program=program,
+        fabric=fabric,
+        memory=memory,
+        verify=verify,
+        meta={
+            "width": width,
+            "height": height,
+            "macs": out_w * out_h * kk,
+            "instances": out_h * blocks * kk,
+        },
+    )
+
+
+def stencil2d_ddg(width: int = WIDTH, height: int = HEIGHT, seed: int = 11) -> Ddg:
+    rng = make_rng(seed)
+    grid = [rng.randint(-100, 100) for _ in range(width * height)]
+    filt = [rng.randint(-8, 8) for _ in range(K * K)]
+    t = TraceBuilder("stencil")
+    t.array("grid", grid)
+    t.array("filt", filt)
+    t.array("out", [0] * (width - 2) * (height - 2))
+    out_w = width - 2
+    for y in range(height - 2):
+        for x in range(out_w):
+            acc = t.const(0)
+            for ky in range(K):
+                for kx in range(K):
+                    acc = t.add(
+                        acc,
+                        t.mul(
+                            t.load("filt", ky * K + kx),
+                            t.load("grid", (y + ky) * width + (x + kx)),
+                        ),
+                    )
+            t.store("out", y * out_w + x, acc)
+    return t.ddg
+
+
+def stencil2d_asic_base() -> AsicDesign:
+    return AsicDesign(base_alu=2, base_mul=2)
+
+
+def stencil2d_census(width: int = WIDTH, height: int = HEIGHT) -> ScalarWorkload:
+    macs = (width - 2) * (height - 2) * K * K
+    return ScalarWorkload(
+        name="stencil",
+        int_ops=macs,
+        mul_ops=macs,
+        loads=2 * macs,
+        stores=(width - 2) * (height - 2),
+        branches=macs // 4,
+        memory_bytes=8 * (width * height + (width - 2) * (height - 2)),
+    )

@@ -1,0 +1,187 @@
+"""MachSuite ``viterbi``: dynamic-programming decoder (Table 4: recurrence +
+linear patterns, 4-way add-minimize tree).
+
+Negative-log-likelihood formulation::
+
+    llike[t][s] = emit[t][s] + min_{s'} (llike[t-1][s'] + trans[s'][s])
+
+Per (t, s) the previous timestep's row streams linearly against a column
+of the (host-transposed) transition matrix through a 4-way add/min tree
+and a min-accumulator; the inter-timestep dependence runs through memory
+with a full barrier per step — the architecture's documented idiom for
+dependence chains longer than the vector-port buffering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...baselines.asic.ddg import Ddg, TraceBuilder
+from ...baselines.asic.schedule import AsicDesign
+from ...baselines.cpu import ScalarWorkload
+from ...cgra.fabric import Fabric, broadly_provisioned
+from ...core.compiler.scheduler import schedule
+from ...core.dfg.builder import DfgBuilder
+from ...core.dfg.graph import Dfg
+from ...core.isa.program import StreamProgram
+from ...sim.memory import MemorySystem
+from ..common import Allocator, BuiltWorkload, check_equal, make_rng, read_words, write_words
+
+#: hidden states and observation steps, scaled for simulator speed
+N_STATES = 16
+N_STEPS = 24
+WAY = 4
+
+
+def viterbi_dfg() -> Dfg:
+    """prev(4) + trans(4) -> min tree -> min-accumulate -> +emit -> C."""
+    b = DfgBuilder("viterbi")
+    prev = b.input("A", WAY)
+    trans = b.input("B", WAY)
+    emit = b.input("E", 1)
+    r = b.input("R", 1)
+    sums = [b.add(prev[j], trans[j]) for j in range(WAY)]
+    best = b.reduce_tree("min", sums)
+    running = b.op("accmin", best, r[0])
+    b.output("C", b.add(running, emit[0]))
+    return b.build()
+
+
+def reference_viterbi(
+    init: List[int], trans: List[List[int]], emit: List[List[int]]
+) -> List[int]:
+    """Returns the final timestep's llike row."""
+    n = len(init)
+    prev = list(init)
+    for t in range(1, len(emit)):
+        prev = [
+            emit[t][s] + min(prev[sp] + trans[sp][s] for sp in range(n))
+            for s in range(n)
+        ]
+    return prev
+
+
+def build_viterbi(
+    fabric: Fabric = None,
+    seed: int = 17,
+    n_states: int = N_STATES,
+    n_steps: int = N_STEPS,
+) -> BuiltWorkload:
+    if n_states % WAY:
+        raise ValueError(f"n_states must be a multiple of {WAY}")
+    fabric = fabric or broadly_provisioned()
+    rng = make_rng(seed)
+    init = [rng.randint(0, 100) for _ in range(n_states)]
+    trans = [
+        [rng.randint(1, 60) for _ in range(n_states)] for _ in range(n_states)
+    ]
+    emit = [
+        [rng.randint(0, 40) for _ in range(n_states)] for _ in range(n_steps)
+    ]
+    expected = reference_viterbi(init, trans, emit)
+
+    memory = MemorySystem()
+    alloc = Allocator()
+    # Host preprocessing: transpose the transition matrix so a state's
+    # incoming costs are a linear stream (a one-time layout transformation).
+    trans_t_addr = alloc.alloc(n_states * n_states * 8)
+    emit_addr = alloc.alloc(n_steps * n_states * 8)
+    llike_addr = alloc.alloc(2 * n_states * 8)  # double-buffered rows
+    for s in range(n_states):
+        write_words(
+            memory,
+            trans_t_addr + s * n_states * 8,
+            [trans[sp][s] for sp in range(n_states)],
+        )
+    for t in range(n_steps):
+        write_words(memory, emit_addr + t * n_states * 8, emit[t])
+    write_words(memory, llike_addr, init)
+
+    dfg = viterbi_dfg()
+    config = schedule(dfg, fabric)
+    program = StreamProgram("viterbi", config)
+
+    instances = n_states // WAY  # per (t, s)
+    row_bytes = n_states * 8
+    for t in range(1, n_steps):
+        prev_row = llike_addr + ((t - 1) % 2) * row_bytes
+        cur_row = llike_addr + (t % 2) * row_bytes
+        for s in range(n_states):
+            if instances > 1:
+                program.const_port(0, instances - 1, "R")
+                program.clean_port(instances - 1, "C")
+            program.const_port(1, 1, "R")
+            program.port_mem("C", 8, 8, 1, cur_row + s * 8)
+            program.mem_port(prev_row, row_bytes, row_bytes, 1, "A")
+            program.mem_port(
+                trans_t_addr + s * row_bytes, row_bytes, row_bytes, 1, "B"
+            )
+            # The emission term repeats for every instance of this state.
+            program.mem_port(
+                emit_addr + (t * n_states + s) * 8, 0, 8, instances, "E"
+            )
+            program.host(3)  # state loop
+        program.barrier_all()  # timestep dependence through memory
+        program.host(2)
+
+    def verify(mem: MemorySystem) -> None:
+        final = llike_addr + ((n_steps - 1) % 2) * row_bytes
+        got = read_words(mem, final, n_states)
+        check_equal("viterbi", got, expected)
+
+    return BuiltWorkload(
+        name="viterbi",
+        program=program,
+        fabric=fabric,
+        memory=memory,
+        verify=verify,
+        meta={
+            "states": n_states,
+            "steps": n_steps,
+            "instances": (n_steps - 1) * n_states * instances,
+        },
+    )
+
+
+def viterbi_ddg(
+    n_states: int = N_STATES, n_steps: int = N_STEPS, seed: int = 17
+) -> Ddg:
+    rng = make_rng(seed)
+    init = [rng.randint(0, 100) for _ in range(n_states)]
+    trans = [rng.randint(1, 60) for _ in range(n_states * n_states)]
+    emit = [rng.randint(0, 40) for _ in range(n_steps * n_states)]
+    t = TraceBuilder("viterbi")
+    t.array("trans", trans)
+    t.array("emit", emit)
+    t.array("llike", init + [0] * n_states)
+    for step in range(1, n_steps):
+        prev = ((step - 1) % 2) * n_states
+        cur = (step % 2) * n_states
+        for s in range(n_states):
+            best = None
+            for sp in range(n_states):
+                cand = t.add(
+                    t.load("llike", prev + sp), t.load("trans", sp * n_states + s)
+                )
+                best = cand if best is None else t.minimum(best, cand)
+            t.store(
+                "llike", cur + s, t.add(best, t.load("emit", step * n_states + s))
+            )
+    return t.ddg
+
+
+def viterbi_asic_base() -> AsicDesign:
+    return AsicDesign(base_alu=4, base_mul=1)
+
+
+def viterbi_census(n_states: int = N_STATES, n_steps: int = N_STEPS) -> ScalarWorkload:
+    work = (n_steps - 1) * n_states * n_states
+    return ScalarWorkload(
+        name="viterbi",
+        int_ops=2 * work,
+        loads=2 * work,
+        stores=(n_steps - 1) * n_states,
+        branches=work,
+        memory_bytes=8 * (n_states * n_states + n_steps * n_states),
+        critical_path=(n_steps - 1) * 8,  # timestep serialisation
+    )

@@ -1,0 +1,178 @@
+"""Unit + property tests for mini-Aladdin: DDG, scheduler, power/area, DSE."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.asic import (
+    AsicDesign,
+    TraceBuilder,
+    estimate_power_area,
+    explore_design_space,
+    local_sram_kb,
+    schedule_ddg,
+    select_iso_performance,
+)
+
+
+def vector_scale_ddg(n=32, factor=3):
+    t = TraceBuilder("scale")
+    t.array("a", list(range(n)))
+    t.array("out", [0] * n)
+    c = t.const(factor)
+    for i in range(n):
+        t.store("out", i, t.mul(t.load("a", i), c))
+    return t
+
+
+class TestTraceBuilder:
+    def test_computes_real_values(self):
+        t = vector_scale_ddg(8, 5)
+        assert t.array_values("out") == [i * 5 for i in range(8)]
+
+    def test_all_ops_recorded(self):
+        t = vector_scale_ddg(8)
+        histogram = t.ddg.op_histogram()
+        assert histogram == {"load": 8, "mul": 8, "store": 8}
+
+    def test_data_dependences(self):
+        t = TraceBuilder("dep")
+        t.array("a", [1])
+        t.array("o", [0])
+        x = t.load("a", 0)
+        y = t.add(x, t.const(1))
+        t.store("o", 0, y)
+        store_node = t.ddg.nodes[-1]
+        assert y.node in store_node.deps
+
+    def test_load_after_store_dependence(self):
+        t = TraceBuilder("raw")
+        t.array("a", [0])
+        t.store("a", 0, t.const(5))
+        loaded = t.load("a", 0)
+        assert loaded.value == 5
+        load_node = t.ddg.nodes[loaded.node]
+        assert t.ddg.nodes[0].node_id in load_node.deps
+
+    def test_store_after_load_dependence(self):
+        t = TraceBuilder("war")
+        t.array("a", [1])
+        loaded = t.load("a", 0)
+        t.store("a", 0, t.const(2))
+        store_node = t.ddg.nodes[-1]
+        assert loaded.node in store_node.deps
+
+    def test_independent_elements_no_dependence(self):
+        t = TraceBuilder("indep")
+        t.array("a", [1, 2])
+        t.store("a", 0, t.const(9))
+        loaded = t.load("a", 1)
+        assert t.ddg.nodes[loaded.node].deps == ()
+
+    def test_traced_arithmetic(self):
+        t = TraceBuilder("ops")
+        t.array("x", [0])
+        a, b = t.const(10), t.const(3)
+        assert t.sub(a, b).value == 7
+        assert t.div(a, b).value == 3
+        assert t.minimum(a, b).value == 3
+        assert t.maximum(a, b).value == 10
+        assert t.compare_eq(a, a).value == 1
+        assert t.select(t.const(0), a, b).value == 3
+        assert t.shift_right(a, 1).value == 5
+        assert t.special(lambda v: v + 100, a).value == 110
+
+    def test_critical_path(self):
+        t = TraceBuilder("chain")
+        t.array("a", [1])
+        v = t.load("a", 0)  # latency 2
+        for _ in range(5):
+            v = t.add(v, t.const(1))  # 5 x latency 1
+        assert t.ddg.critical_path() == 7
+
+    def test_unknown_op_kind(self):
+        t = TraceBuilder("bad")
+        with pytest.raises(KeyError):
+            t.ddg.add("teleport", [])
+
+
+class TestScheduling:
+    def test_critical_path_is_lower_bound(self):
+        ddg = vector_scale_ddg(16).ddg
+        result = schedule_ddg(ddg, AsicDesign(unroll=16, partition=8))
+        assert result.cycles >= ddg.critical_path()
+
+    def test_more_resources_never_slower(self):
+        ddg = vector_scale_ddg(64).ddg
+        slow = schedule_ddg(ddg, AsicDesign(unroll=1, partition=1))
+        fast = schedule_ddg(ddg, AsicDesign(unroll=8, partition=8))
+        assert fast.cycles <= slow.cycles
+
+    def test_resource_limits_respected(self):
+        # 1 memory port: 64 loads + 64 stores serialise to >= 128 cycles
+        ddg = vector_scale_ddg(64).ddg
+        design = AsicDesign(unroll=1, partition=1, mem_ports_per_partition=1)
+        result = schedule_ddg(ddg, design)
+        assert result.cycles >= 128
+
+    def test_busy_counters(self):
+        ddg = vector_scale_ddg(8).ddg
+        result = schedule_ddg(ddg, AsicDesign())
+        assert result.resource_busy["mem"] == 16
+        assert result.resource_busy["mul"] == 8
+
+    @given(unroll=st.sampled_from([1, 2, 4, 8]), partition=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=12, deadline=None)
+    def test_schedule_deterministic(self, unroll, partition):
+        ddg = vector_scale_ddg(32).ddg
+        design = AsicDesign(unroll=unroll, partition=partition)
+        assert schedule_ddg(ddg, design).cycles == schedule_ddg(ddg, design).cycles
+
+
+class TestPowerArea:
+    def test_bigger_designs_cost_more(self):
+        ddg = vector_scale_ddg(64).ddg
+        small = estimate_power_area(ddg, schedule_ddg(ddg, AsicDesign(unroll=1)))
+        big = estimate_power_area(ddg, schedule_ddg(ddg, AsicDesign(unroll=8)))
+        assert big.area_mm2 > small.area_mm2
+        assert big.power_mw > small.power_mw  # leakage dominates
+
+    def test_sram_grows_with_partitioning(self):
+        ddg = vector_scale_ddg(64).ddg
+        assert local_sram_kb(ddg, AsicDesign(partition=8)) > local_sram_kb(
+            ddg, AsicDesign(partition=1)
+        )
+
+    def test_energy_positive(self):
+        ddg = vector_scale_ddg(16).ddg
+        estimate = estimate_power_area(ddg, schedule_ddg(ddg, AsicDesign()))
+        assert estimate.energy_mj > 0
+
+
+class TestDse:
+    def test_sweep_covers_grid(self):
+        points = explore_design_space(vector_scale_ddg(32).ddg)
+        assert len(points) == 20  # 5 unrolls x 4 partitions
+        labels = {p.design.label() for p in points}
+        assert "u1p1" in labels and "u16p8" in labels
+
+    def test_iso_selection_prefers_band(self):
+        points = explore_design_space(vector_scale_ddg(64).ddg)
+        slowest = max(p.cycles for p in points)
+        chosen = select_iso_performance(points, target_cycles=slowest)
+        assert chosen.cycles <= slowest * 1.1
+
+    def test_iso_selection_power_priority(self):
+        points = explore_design_space(vector_scale_ddg(64).ddg)
+        target = max(p.cycles for p in points) * 2  # everything qualifies
+        chosen = select_iso_performance(points, target)
+        assert chosen.power_mw == min(p.power_mw for p in points)
+
+    def test_unreachable_target_picks_fastest_available(self):
+        points = explore_design_space(vector_scale_ddg(64).ddg)
+        chosen = select_iso_performance(points, target_cycles=1)
+        fastest = min(p.cycles for p in points)
+        assert chosen.cycles == fastest
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_iso_performance([], 100)

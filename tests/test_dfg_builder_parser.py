@@ -1,0 +1,164 @@
+"""Unit tests for the builder API and the DFG text language."""
+
+import pytest
+
+from repro.core.dfg import (
+    Constant,
+    DfgBuilder,
+    DfgError,
+    DfgParseError,
+    ValueRef,
+    dfg_to_text,
+    parse_dfg,
+)
+
+DOT_TEXT = """
+; dot product
+input A 3
+input B 3
+m0 = mul A.0 B.0
+m1 = mul A.1 B.1
+m2 = mul A.2 B.2
+s0 = add m0 m1
+s1 = add s0 m2
+output C s1
+"""
+
+
+class TestBuilder:
+    def test_port_handle_indexing(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 3)
+        assert a[2] == ValueRef("A", 2)
+        assert len(a) == 3
+        assert list(a) == [ValueRef("A", i) for i in range(3)]
+
+    def test_port_handle_bounds(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 2)
+        with pytest.raises(IndexError):
+            a[2]
+
+    def test_int_operand_becomes_constant(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 1)
+        b.output("O", b.add(a[0], 41))
+        dfg = b.build()
+        assert dfg.execute({"A": [1]}) == {"O": [42]}
+
+    def test_named_instruction(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 1)
+        ref = b.op("pass", a[0], name="mycopy")
+        b.output("O", ref)
+        assert "mycopy" in b.build(validate=False).instructions
+
+    def test_reduce_tree_balanced(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 8)
+        b.output("O", b.reduce_tree("add", list(a)))
+        dfg = b.build()
+        assert dfg.execute({"A": list(range(8))}) == {"O": [28]}
+        # balanced: depth is log2(8) adds = 3 levels
+        assert dfg.latency == 3
+
+    def test_reduce_tree_odd_count(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 5)
+        b.output("O", b.reduce_tree("max", list(a)))
+        dfg = b.build()
+        assert dfg.execute({"A": [3, 9, 1, 7, 5]}) == {"O": [9]}
+
+    def test_reduce_tree_single_value(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 1)
+        b.output("O", b.reduce_tree("add", [a[0]]))
+        dfg = b.build()
+        assert dfg.execute({"A": [4]}) == {"O": [4]}
+
+    def test_reduce_tree_empty_rejected(self):
+        b = DfgBuilder("x")
+        with pytest.raises(ValueError):
+            b.reduce_tree("add", [])
+
+    def test_build_validates(self):
+        b = DfgBuilder("x")
+        b.input("A", 1)
+        with pytest.raises(DfgError):
+            b.build()  # no outputs
+
+    def test_output_accepts_constant(self):
+        b = DfgBuilder("x")
+        a = b.input("A", 1)
+        b.op("pass", a[0], name="used")
+        b.output("O", [ValueRef("used"), Constant(7)])
+        dfg = b.build()
+        out = dfg.execute({"A": [3]})
+        assert out["O"] == [3, 7]
+
+
+class TestParser:
+    def test_parse_and_execute(self):
+        dfg = parse_dfg(DOT_TEXT, "dot")
+        out = dfg.execute({"A": [1, 2, 3], "B": [4, 5, 6]})
+        assert out == {"C": [32]}
+
+    def test_default_width_one(self):
+        dfg = parse_dfg("input A\nx = pass A\noutput O x")
+        assert dfg.inputs["A"].width == 1
+
+    def test_immediate_operand(self):
+        dfg = parse_dfg("input A\nx = add A #10\noutput O x")
+        assert dfg.execute({"A": [5]}) == {"O": [15]}
+
+    def test_hex_immediate(self):
+        dfg = parse_dfg("input A\nx = and A #0xFF\noutput O x")
+        assert dfg.execute({"A": [0x1234]}) == {"O": [0x34]}
+
+    def test_lane_bits_suffix(self):
+        dfg = parse_dfg("input A\nx = hadd A @16\noutput O x")
+        inst = dfg.instructions["x"]
+        assert inst.lane_bits == 16
+
+    def test_comments_and_blank_lines_ignored(self):
+        dfg = parse_dfg("\n; hi\ninput A ; trailing\nx = pass A\noutput O x\n\n")
+        assert "x" in dfg.instructions
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(DfgParseError, match="line 2"):
+            parse_dfg("input A\nwat is this\noutput O A")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DfgParseError):
+            parse_dfg("input A\nx = zorp A\noutput O x")
+
+    def test_multi_word_output(self):
+        dfg = parse_dfg(
+            "input A 2\nx = pass A.0\ny = pass A.1\noutput O x y"
+        )
+        assert dfg.outputs["O"].width == 2
+
+    def test_output_constant_rejected(self):
+        with pytest.raises(DfgParseError, match="value refs"):
+            parse_dfg("input A\nx = pass A\noutput O #5")
+
+    def test_bad_immediate(self):
+        with pytest.raises(DfgParseError, match="immediate"):
+            parse_dfg("input A\nx = add A #zz\noutput O x")
+
+
+class TestRoundTrip:
+    def test_serialise_then_parse_same_semantics(self):
+        original = parse_dfg(DOT_TEXT, "dot")
+        text = dfg_to_text(original)
+        reparsed = parse_dfg(text, "dot2")
+        inputs = {"A": [7, 8, 9], "B": [1, 2, 3]}
+        assert original.execute(inputs) == reparsed.execute(inputs)
+
+    def test_serialise_preserves_lane_bits(self):
+        dfg = parse_dfg("input A\nx = hadd A @16\noutput O x")
+        assert "@16" in dfg_to_text(dfg)
+
+    def test_serialise_preserves_constants(self):
+        dfg = parse_dfg("input A\nx = add A #42\noutput O x")
+        assert "#42" in dfg_to_text(dfg)

@@ -1,0 +1,224 @@
+"""Unit tests for the DFG container: structure, ordering, execution."""
+
+import pytest
+
+from repro.core.dfg import (
+    Constant,
+    Dfg,
+    DfgBuilder,
+    DfgError,
+    ValueRef,
+    validate_dfg,
+)
+from repro.core.dfg.instructions import mask_word
+
+
+def dot_product_dfg() -> Dfg:
+    dfg = Dfg("dot")
+    dfg.add_input("A", 2)
+    dfg.add_input("B", 2)
+    dfg.add_instruction("m0", "mul", [ValueRef("A", 0), ValueRef("B", 0)])
+    dfg.add_instruction("m1", "mul", [ValueRef("A", 1), ValueRef("B", 1)])
+    dfg.add_instruction("s", "add", [ValueRef("m0"), ValueRef("m1")])
+    dfg.add_output("C", [ValueRef("s")])
+    return dfg
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        dfg = Dfg("x")
+        dfg.add_input("A")
+        with pytest.raises(DfgError, match="already used"):
+            dfg.add_instruction("A", "add", [ValueRef("A"), ValueRef("A")])
+
+    def test_port_width_bounds(self):
+        dfg = Dfg("x")
+        with pytest.raises(DfgError):
+            dfg.add_input("A", 0)
+        with pytest.raises(DfgError):
+            dfg.add_input("B", 9)
+
+    def test_output_width_matches_sources(self):
+        dfg = dot_product_dfg()
+        assert dfg.outputs["C"].width == 1
+
+    def test_op_histogram(self):
+        dfg = dot_product_dfg()
+        assert dfg.op_histogram() == {"mul": 2, "add": 1}
+
+    def test_consumers(self):
+        dfg = dot_product_dfg()
+        consumers = dfg.consumers()
+        assert consumers["m0"] == ["s"]
+        assert set(consumers["A"]) == {"m0", "m1"}
+
+
+class TestTopologicalOrder:
+    def test_respects_dependences(self):
+        dfg = dot_product_dfg()
+        order = [i.name for i in dfg.topological_order()]
+        assert order.index("s") > order.index("m0")
+        assert order.index("s") > order.index("m1")
+
+    def test_cycle_detected(self):
+        dfg = Dfg("cyclic")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "add", [ValueRef("A", 0), ValueRef("y")])
+        dfg.add_instruction("y", "add", [ValueRef("x"), ValueRef("A", 0)])
+        dfg.add_output("O", [ValueRef("y")])
+        with pytest.raises(DfgError, match="cycle"):
+            dfg.topological_order()
+
+    def test_memoised_and_invalidated(self):
+        dfg = dot_product_dfg()
+        first = dfg.topological_order()
+        assert dfg.topological_order() is first  # cached
+        dfg.add_instruction("extra", "pass", [ValueRef("s")])
+        second = dfg.topological_order()
+        assert second is not first
+        assert len(second) == len(first) + 1
+
+    def test_accumulator_not_a_cycle(self):
+        b = DfgBuilder("acc")
+        a = b.input("A", 1)
+        r = b.input("R", 1)
+        b.output("O", b.accumulate(a[0], r[0]))
+        dfg = b.build()
+        assert len(dfg.topological_order()) == 1
+
+
+class TestDepthAndLatency:
+    def test_depth_accumulates_op_latency(self):
+        dfg = dot_product_dfg()
+        depth = dfg.depth_by_node()
+        assert depth["m0"] == 2  # mul latency
+        assert depth["s"] == 3  # + add latency
+
+    def test_latency_is_deepest_output(self):
+        assert dot_product_dfg().latency == 3
+
+
+class TestExecution:
+    def test_dot_product(self):
+        dfg = dot_product_dfg()
+        out = dfg.execute({"A": [2, 3], "B": [10, 100]})
+        assert out == {"C": [320]}
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(DfgError, match="missing input port"):
+            dot_product_dfg().execute({"A": [1, 2]})
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(DfgError, match="expects 2 words"):
+            dot_product_dfg().execute({"A": [1], "B": [1, 2]})
+
+    def test_constant_operand(self):
+        dfg = Dfg("const")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "add", [ValueRef("A", 0), Constant(100)])
+        dfg.add_output("O", [ValueRef("x")])
+        assert dfg.execute({"A": [1]}) == {"O": [101]}
+
+    def test_negative_values_masked(self):
+        dfg = Dfg("neg")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "sub", [Constant(0), ValueRef("A", 0)])
+        dfg.add_output("O", [ValueRef("x")])
+        assert dfg.execute({"A": [5]}) == {"O": [mask_word(-5)]}
+
+    def test_accumulator_requires_state(self):
+        b = DfgBuilder("acc")
+        a = b.input("A", 1)
+        r = b.input("R", 1)
+        b.output("O", b.accumulate(a[0], r[0]))
+        dfg = b.build()
+        with pytest.raises(DfgError, match="state"):
+            dfg.execute({"A": [1], "R": [0]})
+
+    def test_accumulator_accumulates_and_resets(self):
+        b = DfgBuilder("acc")
+        a = b.input("A", 1)
+        r = b.input("R", 1)
+        b.output("O", b.accumulate(a[0], r[0]))
+        dfg = b.build()
+        state = dfg.make_state()
+        assert dfg.execute({"A": [5], "R": [0]}, state) == {"O": [5]}
+        assert dfg.execute({"A": [6], "R": [0]}, state) == {"O": [11]}
+        assert dfg.execute({"A": [1], "R": [1]}, state) == {"O": [12]}
+        # reset happened after output
+        assert dfg.execute({"A": [9], "R": [0]}, state) == {"O": [9]}
+
+    def test_accmin_runs_from_identity(self):
+        b = DfgBuilder("m")
+        a = b.input("A", 1)
+        r = b.input("R", 1)
+        b.output("O", b.op("accmin", a[0], r[0]))
+        dfg = b.build()
+        state = dfg.make_state()
+        assert dfg.execute({"A": [50], "R": [0]}, state) == {"O": [50]}
+        assert dfg.execute({"A": [70], "R": [0]}, state) == {"O": [50]}
+        assert dfg.execute({"A": [20], "R": [1]}, state) == {"O": [20]}
+        assert dfg.execute({"A": [90], "R": [0]}, state) == {"O": [90]}
+
+    def test_multi_output_ports(self):
+        dfg = Dfg("multi")
+        dfg.add_input("A", 2)
+        dfg.add_instruction("x", "add", [ValueRef("A", 0), ValueRef("A", 1)])
+        dfg.add_instruction("y", "sub", [ValueRef("A", 0), ValueRef("A", 1)])
+        dfg.add_output("S", [ValueRef("x"), ValueRef("y")])
+        out = dfg.execute({"A": [7, 3]})
+        assert out["S"] == [10, 4]
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        validate_dfg(dot_product_dfg())
+
+    def test_undefined_operand(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "add", [ValueRef("A", 0), ValueRef("nope")])
+        dfg.add_output("O", [ValueRef("x")])
+        with pytest.raises(DfgError, match="undefined value"):
+            validate_dfg(dfg)
+
+    def test_lane_out_of_range(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A", 2)
+        dfg.add_instruction("x", "pass", [ValueRef("A", 5)])
+        dfg.add_output("O", [ValueRef("x")])
+        with pytest.raises(DfgError, match="lane 5"):
+            validate_dfg(dfg)
+
+    def test_instruction_lane_must_be_zero(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "pass", [ValueRef("A", 0)])
+        dfg.add_instruction("y", "pass", [ValueRef("x", 1)])
+        dfg.add_output("O", [ValueRef("y")])
+        with pytest.raises(DfgError, match="single output lane"):
+            validate_dfg(dfg)
+
+    def test_no_outputs_rejected(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "pass", [ValueRef("A", 0)])
+        with pytest.raises(DfgError, match="no output ports"):
+            validate_dfg(dfg)
+
+    def test_dead_value_rejected(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A")
+        dfg.add_instruction("x", "pass", [ValueRef("A", 0)])
+        dfg.add_instruction("dead", "pass", [ValueRef("A", 0)])
+        dfg.add_output("O", [ValueRef("x")])
+        with pytest.raises(DfgError, match="never consumed"):
+            validate_dfg(dfg)
+
+    def test_wrong_arity_reported(self):
+        dfg = Dfg("bad")
+        dfg.add_input("A")
+        inst = dfg.add_instruction("x", "add", [ValueRef("A", 0)])
+        dfg.add_output("O", [ValueRef("x")])
+        with pytest.raises(DfgError, match="wants 2 operands"):
+            validate_dfg(dfg)

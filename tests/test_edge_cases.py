@@ -1,0 +1,138 @@
+"""Edge cases across the stack: empty programs, degenerate shapes, limits."""
+
+import pytest
+
+from repro.cgra import broadly_provisioned, dnn_provisioned
+from repro.core.compiler import schedule
+from repro.core.dfg import DfgBuilder, parse_dfg
+from repro.core.isa import StreamProgram
+from repro.sim import MemorySystem, run_program
+from repro.workloads.common import Allocator, check_equal, read_words, write_words
+from repro.workloads.common import VerificationError
+
+
+class TestDegenerateProograms:
+    def test_config_only_program(self):
+        fabric = dnn_provisioned()
+        config = schedule(
+            parse_dfg("input A\nx = pass A\noutput O x", "idle"), fabric
+        )
+        program = StreamProgram("idle", config)
+        result = run_program(program, fabric=fabric)
+        assert result.stats.instances_fired == 0
+        assert result.cycles > 0  # config load took time
+
+    def test_barrier_only_after_config(self):
+        fabric = dnn_provisioned()
+        config = schedule(
+            parse_dfg("input A\nx = pass A\noutput O x", "idle"), fabric
+        )
+        program = StreamProgram("idle", config)
+        program.barrier_all()
+        result = run_program(program, fabric=fabric)
+        assert result.timeline.traces[-1].completed is not None
+
+    def test_single_element_stream(self):
+        fabric = dnn_provisioned()
+        config = schedule(
+            parse_dfg("input A\nx = add A #1\noutput O x", "inc"), fabric
+        )
+        memory = MemorySystem()
+        write_words(memory, 0, [41])
+        program = StreamProgram("one", config)
+        program.mem_port(0, 8, 8, 1, "A")
+        program.port_mem("O", 8, 8, 1, 0x40)
+        program.barrier_all()
+        run_program(program, fabric=fabric, memory=memory)
+        assert read_words(memory, 0x40, 1) == [42]
+
+    def test_wide_port_partial_instance_leftover_is_callers_bug(self):
+        # Streaming 3 words into a width-2 port leaves one word stranded:
+        # the program must deadlock-report, not silently drop data.
+        from repro.sim import SimulationDeadlock
+
+        fabric = dnn_provisioned()
+        dfg = parse_dfg(
+            "input A 2\nx = add A.0 A.1\noutput O x", "pairsum"
+        )
+        config = schedule(dfg, fabric)
+        memory = MemorySystem()
+        write_words(memory, 0, [1, 2, 3])
+        program = StreamProgram("odd", config)
+        program.mem_port(0, 24, 24, 1, "A")
+        program.port_mem("O", 16, 16, 1, 0x40)
+        program.barrier_all()
+        with pytest.raises(SimulationDeadlock):
+            run_program(program, fabric=fabric, memory=memory)
+
+
+class TestAllocatorAndHelpers:
+    def test_allocator_line_aligned(self):
+        alloc = Allocator(base=0x100)
+        a = alloc.alloc(1)
+        b = alloc.alloc(65)
+        c = alloc.alloc(64)
+        assert a % 64 == 0 and b % 64 == 0 and c % 64 == 0
+        assert b == a + 64
+        assert c == b + 128
+
+    def test_check_equal_reports_first_mismatches(self):
+        with pytest.raises(VerificationError, match="mismatch"):
+            check_equal("x", [1, 2, 3], [1, 9, 3])
+
+    def test_check_equal_length_mismatch(self):
+        with pytest.raises(VerificationError):
+            check_equal("x", [1, 2], [1, 2, 3])
+
+    def test_write_read_words_negative(self):
+        memory = MemorySystem()
+        write_words(memory, 0, [-1, -128], elem_bytes=2)
+        assert read_words(memory, 0, 2, elem_bytes=2) == [-1, -128]
+
+
+class TestFabricEdgeCases:
+    def test_one_by_one_mesh(self):
+        from repro.cgra import build_fabric
+
+        fabric = build_fabric(
+            "tiny", 1, 1, [["alu"]], input_widths=[1, 1], output_widths=[1]
+        )
+        dfg = parse_dfg("input A\nx = pass A\noutput O x", "tiny")
+        config = schedule(dfg, fabric)
+        assert config.placement["x"] == (0, 0)
+
+    def test_port_depth_parameterisation(self):
+        shallow = dnn_provisioned(port_depth=2)
+        assert shallow.input_ports[0].depth == 2
+
+    def test_dfg_with_max_width_ports(self):
+        b = DfgBuilder("wide")
+        a = b.input("A", 8)
+        b.output("O", b.reduce_tree("add", list(a)))
+        config = schedule(b.build(), broadly_provisioned())
+        memory = MemorySystem()
+        write_words(memory, 0, list(range(8)))
+        program = StreamProgram("wide", config)
+        program.mem_port(0, 64, 64, 1, "A")
+        program.port_mem("O", 8, 8, 1, 0x100)
+        program.barrier_all()
+        run_program(program, fabric=config.fabric, memory=memory)
+        assert read_words(memory, 0x100, 1) == [28]
+
+
+class TestControlCoreAccounting:
+    def test_instruction_counts_reported(self):
+        fabric = dnn_provisioned()
+        config = schedule(
+            parse_dfg("input A\nx = pass A\noutput O x", "acct"), fabric
+        )
+        memory = MemorySystem()
+        write_words(memory, 0, [1])
+        program = StreamProgram("acct", config)
+        program.mem_port(0, 8, 8, 1, "A")  # 2 instructions
+        program.host(7)
+        program.port_mem("O", 8, 8, 1, 0x40)  # 3 instructions
+        program.barrier_all()  # 1 instruction
+        result = run_program(program, fabric=fabric, memory=memory)
+        # config (1) + 2 + 7 + 3 + 1
+        assert result.stats.control_instructions == 14

@@ -1,0 +1,97 @@
+"""Golden-model cross-validation: cycle simulator vs functional interpreter.
+
+Every workload runs twice — once on the cycle-level Softbrain simulator and
+once on the untimed functional interpreter — and both must satisfy the
+workload's verifier.  This is the two-simulator methodology real
+accelerator stacks use: any semantics divergence between the engines and
+the ISA's definition shows up here.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.isa.interpreter import FunctionalDeadlock, interpret_program
+from repro.sim.memory import BackingStore, MemorySystem
+from repro.workloads.common import run_and_verify
+from repro.workloads.dnn import build_classifier, build_conv, build_pool
+from repro.workloads.dnn.layers import ClassifierLayer, ConvLayer, PoolLayer
+from repro.workloads.machsuite import MACHSUITE
+
+
+def functional_verify(built) -> None:
+    """Run the program on the golden model and apply the same verifier."""
+    store = copy.deepcopy(built.memory.store)
+    interpret_program(built.program, store)
+    shadow = MemorySystem()
+    shadow.store = store
+    original = built.memory
+    built.memory = shadow
+    try:
+        built.verify(shadow)
+    finally:
+        built.memory = original
+
+
+SMALL_BUILDERS = {
+    "gemm": lambda: MACHSUITE["gemm"][0](n=8),
+    "stencil": lambda: MACHSUITE["stencil"][0](width=10, height=6),
+    "stencil3d": lambda: MACHSUITE["stencil3d"][0](side=6),
+    "spmv-crs": lambda: MACHSUITE["spmv-crs"][0](n=16),
+    "spmv-ellpack": lambda: MACHSUITE["spmv-ellpack"][0](n=16),
+    "bfs": lambda: MACHSUITE["bfs"][0](n=24, e=60),
+    "md": lambda: MACHSUITE["md"][0](n=16, k=4),
+    "viterbi": lambda: MACHSUITE["viterbi"][0](n_states=8, n_steps=6),
+    "fft": lambda: MACHSUITE["fft"][0](n=16),
+    "nw": lambda: MACHSUITE["nw"][0](length=10),
+    "backprop": lambda: MACHSUITE["backprop"][0](n_in=6, n_out=8),
+}
+
+
+class TestMachSuiteGoldenModel:
+    @pytest.mark.parametrize("name", sorted(SMALL_BUILDERS))
+    def test_functional_model_verifies(self, name):
+        functional_verify(SMALL_BUILDERS[name]())
+
+    @pytest.mark.parametrize("name", ["gemm", "spmv-crs", "fft"])
+    def test_both_engines_agree(self, name):
+        built = SMALL_BUILDERS[name]()
+        functional_verify(built)  # golden model first (fresh memory copy)
+        run_and_verify(built)  # then the cycle-level simulator
+
+
+class TestDnnGoldenModel:
+    def test_classifier(self):
+        functional_verify(
+            build_classifier(ClassifierLayer("gm-class", ni=32, nn=4))
+        )
+
+    def test_conv(self):
+        functional_verify(
+            build_conv(ConvLayer("gm-conv", out_w=8, out_h=4, n_in=2, k=3,
+                                 n_out=2))
+        )
+
+    def test_pool(self):
+        functional_verify(
+            build_pool(PoolLayer("gm-pool", in_w=16, in_h=8, maps=2, window=2))
+        )
+
+
+class TestFunctionalDeadlock:
+    def test_starved_port_detected(self):
+        from repro.cgra import dnn_provisioned
+        from repro.core.compiler import schedule
+        from repro.core.dfg import parse_dfg
+        from repro.core.isa import StreamProgram
+
+        config = schedule(
+            parse_dfg("input A\ninput B\nx = add A B\noutput O x", "stuck"),
+            dnn_provisioned(),
+        )
+        program = StreamProgram("stuck", config)
+        program.mem_port(0, 8, 8, 1, "A")  # B never fed
+        program.port_mem("O", 8, 8, 1, 0x100)
+        program.barrier_all()
+        with pytest.raises(FunctionalDeadlock):
+            interpret_program(program, BackingStore())

@@ -1,0 +1,206 @@
+"""Unit + property tests for stream commands, port roles and the codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.isa import (
+    Affine2D,
+    EncodingError,
+    HostCompute,
+    SDBarrierAll,
+    SDBarrierScratchRd,
+    SDBarrierScratchWr,
+    SDCleanPort,
+    SDConfig,
+    SDConstPort,
+    SDIndPortMem,
+    SDIndPortPort,
+    SDMemPort,
+    SDMemScratch,
+    SDPortMem,
+    SDPortPort,
+    SDPortScratch,
+    SDScratchPort,
+    decode_item,
+    decode_items,
+    encode_item,
+    encode_items,
+    in_port,
+    ind_port,
+    is_barrier,
+    out_port,
+)
+from repro.core.isa.commands import PortRef, port_uses
+
+
+def pattern(**kw):
+    defaults = dict(start=0x1000, access_size=64, stride=64, num_strides=4)
+    defaults.update(kw)
+    return Affine2D(**defaults)
+
+
+class TestPortRef:
+    def test_str(self):
+        assert str(in_port(3)) == "in3"
+        assert str(out_port(0)) == "out0"
+        assert str(ind_port(2)) == "ind2"
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            PortRef("sideways", 0)
+
+    def test_negative_id(self):
+        with pytest.raises(ValueError):
+            in_port(-1)
+
+
+class TestCommandValidation:
+    def test_mem_port_dest_must_be_input_or_indirect(self):
+        with pytest.raises(ValueError):
+            SDMemPort(pattern(), out_port(0))
+        SDMemPort(pattern(), in_port(0))
+        SDMemPort(pattern(), ind_port(0))
+
+    def test_const_port_positive_count(self):
+        with pytest.raises(ValueError):
+            SDConstPort(1, 0, in_port(0))
+
+    def test_clean_source_must_be_output(self):
+        with pytest.raises(ValueError):
+            SDCleanPort(4, in_port(0))
+
+    def test_port_port_direction(self):
+        with pytest.raises(ValueError):
+            SDPortPort(in_port(0), 4, in_port(1))
+        SDPortPort(out_port(0), 4, in_port(1))
+        SDPortPort(out_port(0), 4, ind_port(1))
+
+    def test_indirect_index_port_kind(self):
+        with pytest.raises(ValueError):
+            SDIndPortPort(in_port(0), 0, in_port(1), 4)
+
+    def test_ind_port_mem_source_must_be_output(self):
+        with pytest.raises(ValueError):
+            SDIndPortMem(ind_port(0), in_port(0), 0, 4)
+
+    def test_is_barrier(self):
+        assert is_barrier(SDBarrierAll())
+        assert is_barrier(SDBarrierScratchRd())
+        assert is_barrier(SDBarrierScratchWr())
+        assert not is_barrier(SDMemPort(pattern(), in_port(0)))
+
+    def test_engine_assignment(self):
+        assert SDMemPort(pattern(), in_port(0)).engine == "mse_read"
+        assert SDPortMem(out_port(0), pattern()).engine == "mse_write"
+        assert SDScratchPort(pattern(), in_port(0)).engine == "sse"
+        assert SDPortScratch(out_port(0), 4, 0).engine == "sse"
+        assert SDConstPort(0, 1, in_port(0)).engine == "rse"
+        assert SDPortPort(out_port(0), 1, in_port(0)).engine == "rse"
+        assert SDConfig(0, 64).engine == "mse_read"
+
+    def test_instruction_counts_in_bounds(self):
+        commands = [
+            SDConfig(0, 64),
+            SDMemPort(pattern(), in_port(0)),
+            SDBarrierAll(),
+            SDPortMem(out_port(0), pattern()),
+        ]
+        for command in commands:
+            assert 1 <= command.instruction_count <= 3
+
+
+class TestPortRoles:
+    def test_writer_roles(self):
+        (use,) = port_uses(SDMemPort(pattern(), in_port(3)))
+        assert use == (in_port(3), "w")
+
+    def test_reader_roles(self):
+        (use,) = port_uses(SDCleanPort(4, out_port(2)))
+        assert use == (out_port(2), "r")
+
+    def test_indirect_gather_reads_index_writes_dest(self):
+        uses = dict(port_uses(SDIndPortPort(ind_port(1), 0, in_port(2), 4)))
+        assert uses[ind_port(1)] == "r"
+        assert uses[in_port(2)] == "w"
+
+    def test_indirect_scatter_reads_both(self):
+        uses = dict(port_uses(SDIndPortMem(ind_port(0), out_port(1), 0, 4)))
+        assert uses[ind_port(0)] == "r"
+        assert uses[out_port(1)] == "r"
+
+    def test_recurrence_reads_source_writes_dest(self):
+        uses = dict(port_uses(SDPortPort(out_port(0), 4, in_port(1))))
+        assert uses[out_port(0)] == "r"
+        assert uses[in_port(1)] == "w"
+
+    def test_barriers_use_no_ports(self):
+        assert port_uses(SDBarrierAll()) == ()
+
+
+ALL_COMMANDS = [
+    HostCompute(7),
+    SDConfig(0xC0000000, 368),
+    SDMemPort(pattern(elem_bytes=2, signed=True), in_port(1)),
+    SDMemScratch(pattern(), 128),
+    SDScratchPort(pattern(start=0, access_size=32, stride=0, num_strides=9),
+                  in_port(2)),
+    SDConstPort(0xDEADBEEF, 48, in_port(3)),
+    SDCleanPort(47, out_port(0)),
+    SDPortPort(out_port(1), 64, in_port(4)),
+    SDPortScratch(out_port(2), 16, 256, 8),
+    SDPortMem(out_port(3), pattern(start=0x2000)),
+    SDIndPortPort(ind_port(0), 0x3000, in_port(5), 12, 8, 8, True),
+    SDIndPortMem(ind_port(1), out_port(4), 0x4000, 12, 2, 4),
+    SDBarrierScratchRd(),
+    SDBarrierScratchWr(),
+    SDBarrierAll(),
+]
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("item", ALL_COMMANDS, ids=lambda c: type(c).__name__)
+    def test_round_trip_each_command(self, item):
+        decoded, offset = decode_item(encode_item(item))
+        assert decoded == item
+        assert offset == len(encode_item(item))
+
+    def test_round_trip_program(self):
+        data = encode_items(ALL_COMMANDS)
+        assert decode_items(data) == ALL_COMMANDS
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError, match="opcode"):
+            decode_item(b"\xff")
+
+    def test_decode_past_end(self):
+        with pytest.raises(EncodingError):
+            decode_item(b"", 0)
+
+    @given(
+        start=st.integers(0, 2**40),
+        access=st.integers(1, 64).map(lambda v: v * 8),
+        stride=st.integers(0, 2**20),
+        n=st.integers(1, 10_000),
+        elem=st.sampled_from([1, 2, 4, 8]),
+        signed=st.booleans(),
+        port=st.integers(0, 255),
+    )
+    @settings(max_examples=200)
+    def test_mem_port_round_trip_property(
+        self, start, access, stride, n, elem, signed, port
+    ):
+        p = Affine2D(start, access, stride, n, elem, signed)
+        command = SDMemPort(p, in_port(port))
+        decoded, _ = decode_item(encode_item(command))
+        assert decoded == command
+
+    @given(
+        value=st.integers(0, 2**64 - 1),
+        n=st.integers(1, 2**31 - 1),
+        port=st.integers(0, 255),
+    )
+    @settings(max_examples=100)
+    def test_const_round_trip_property(self, value, n, port):
+        command = SDConstPort(value, n, in_port(port))
+        decoded, _ = decode_item(encode_item(command))
+        assert decoded == command

@@ -1,0 +1,145 @@
+"""Unit tests for affine/indirect access patterns and AGU coalescing."""
+
+import pytest
+
+from repro.core.isa.patterns import (
+    Affine2D,
+    LINE_BYTES,
+    PatternError,
+    affine_requests,
+    indirect_requests,
+    line_requests,
+)
+
+
+class TestAffine2D:
+    def test_linear_helper(self):
+        p = Affine2D.linear(0x100, 64)
+        assert p.total_bytes == 64
+        assert p.num_elements == 8
+        assert p.classify() == "linear"
+
+    def test_total_bytes_and_elements(self):
+        p = Affine2D(0, access_size=16, stride=32, num_strides=4)
+        assert p.total_bytes == 64
+        assert p.num_elements == 8
+
+    def test_extent(self):
+        p = Affine2D(100, access_size=16, stride=32, num_strides=4)
+        assert p.extent == 100 + 3 * 32 + 16
+
+    def test_element_addresses_strided(self):
+        p = Affine2D(0, access_size=8, stride=32, num_strides=3)
+        assert list(p.element_addresses()) == [0, 32, 64]
+
+    def test_element_addresses_2d(self):
+        p = Affine2D(0, access_size=16, stride=32, num_strides=2, elem_bytes=8)
+        assert list(p.element_addresses()) == [0, 8, 32, 40]
+
+    def test_element_addresses_narrow(self):
+        p = Affine2D(0, access_size=4, stride=10, num_strides=2, elem_bytes=2)
+        assert list(p.element_addresses()) == [0, 2, 10, 12]
+
+    def test_classify_families(self):
+        assert Affine2D(0, 8, 8, 4).classify() == "linear"
+        assert Affine2D(0, 8, 32, 4).classify() == "strided"
+        assert Affine2D(0, 32, 8, 4).classify() == "overlapped"
+        assert Affine2D(0, 8, 0, 4).classify() == "repeating"
+
+    def test_single_stride_is_linear(self):
+        assert Affine2D(0, 8, 999, 1).classify() == "linear"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=0, access_size=0, stride=8, num_strides=1),
+            dict(start=0, access_size=8, stride=8, num_strides=0),
+            dict(start=0, access_size=8, stride=-8, num_strides=1),
+            dict(start=-1, access_size=8, stride=8, num_strides=1),
+            dict(start=0, access_size=8, stride=8, num_strides=1, elem_bytes=3),
+            dict(start=0, access_size=6, stride=8, num_strides=1, elem_bytes=4),
+        ],
+    )
+    def test_invalid_patterns_rejected(self, kwargs):
+        with pytest.raises(PatternError):
+            Affine2D(**kwargs)
+
+
+class TestLineRequests:
+    def test_linear_one_request_per_line(self):
+        p = Affine2D.linear(0, 128)  # 16 words over 2 lines
+        requests = list(affine_requests(p))
+        assert len(requests) == 2
+        assert requests[0].line_addr == 0
+        assert requests[1].line_addr == 64
+        assert requests[0].num_elements == 8
+
+    def test_unaligned_start_splits(self):
+        p = Affine2D.linear(32, 64)  # straddles one line boundary
+        requests = list(affine_requests(p))
+        assert [r.line_addr for r in requests] == [0, 64]
+        assert [r.num_elements for r in requests] == [4, 4]
+
+    def test_strided_one_request_per_access(self):
+        p = Affine2D(0, access_size=8, stride=256, num_strides=4)
+        requests = list(affine_requests(p))
+        assert len(requests) == 4
+        assert [r.line_addr for r in requests] == [0, 256, 512, 768]
+
+    def test_small_stride_coalesces_within_line(self):
+        # 2-byte elements every 4 bytes: 16 fit in one line
+        p = Affine2D(0, access_size=2, stride=4, num_strides=16, elem_bytes=2)
+        requests = list(affine_requests(p))
+        assert len(requests) == 1
+        assert requests[0].num_elements == 16
+
+    def test_stream_order_preserved(self):
+        p = Affine2D(0, access_size=16, stride=8, num_strides=3)  # overlapped
+        addrs = [a for r in affine_requests(p) for a in r.element_addrs]
+        assert addrs == list(p.element_addresses())
+
+    def test_repeating_pattern_refetches(self):
+        p = Affine2D(0, access_size=8, stride=0, num_strides=3)
+        requests = list(affine_requests(p))
+        # same word three times, coalesced into one request per line visit
+        total = sum(r.num_elements for r in requests)
+        assert total == 3
+
+    def test_bytes_used(self):
+        p = Affine2D.linear(0, 64, elem_bytes=2)
+        (request,) = list(affine_requests(p))
+        assert request.bytes_used == 64
+
+    def test_max_elements_cap(self):
+        addrs = iter([0] * 100)
+        requests = list(line_requests(addrs, 2, max_elements=32))
+        assert all(r.num_elements <= 32 for r in requests)
+        assert sum(r.num_elements for r in requests) == 100
+
+
+class TestIndirectRequests:
+    def test_coalesces_up_to_four_in_line(self):
+        requests = list(indirect_requests([0, 8, 16, 24, 32], 8))
+        assert [r.num_elements for r in requests] == [4, 1]
+
+    def test_does_not_coalesce_across_lines(self):
+        requests = list(indirect_requests([0, 64], 8))
+        assert len(requests) == 2
+
+    def test_does_not_coalesce_decreasing(self):
+        requests = list(indirect_requests([16, 8], 8))
+        assert len(requests) == 2
+
+    def test_duplicate_addresses_coalesce(self):
+        requests = list(indirect_requests([8, 8, 8], 8))
+        assert len(requests) == 1
+        assert requests[0].num_elements == 3
+
+    def test_empty(self):
+        assert list(indirect_requests([], 8)) == []
+
+    def test_scattered_addresses(self):
+        addrs = [0, 200, 100, 104]
+        requests = list(indirect_requests(addrs, 8))
+        flat = [a for r in requests for a in r.element_addrs]
+        assert flat == addrs

@@ -1,0 +1,128 @@
+"""Unit tests for StreamProgram: intrinsics, port-name resolution, config."""
+
+import pytest
+
+from repro.cgra import dnn_provisioned
+from repro.core.compiler import schedule
+from repro.core.dfg import parse_dfg
+from repro.core.isa import (
+    CONFIG_BASE_ADDR,
+    HostCompute,
+    ProgramError,
+    SDConfig,
+    SDConstPort,
+    SDMemPort,
+    StreamProgram,
+    in_port,
+    out_port,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    dfg = parse_dfg(
+        "input A 2\ninput B 2\nm0 = mul A.0 B.0\nm1 = mul A.1 B.1\n"
+        "s = add m0 m1\noutput C s",
+        "dot2",
+    )
+    return schedule(dfg, dnn_provisioned())
+
+
+class TestConfigBinding:
+    def test_config_command_emitted_first(self, config):
+        program = StreamProgram("p", config)
+        assert isinstance(program.items[0], SDConfig)
+        assert program.items[0].address == CONFIG_BASE_ADDR
+
+    def test_config_images_registered(self, config):
+        program = StreamProgram("p", config)
+        assert program.config_images[CONFIG_BASE_ADDR] is config
+
+    def test_multiple_configs_distinct_addresses(self, config):
+        program = StreamProgram("p", config)
+        program.config(config)
+        addresses = list(program.config_images)
+        assert len(set(addresses)) == 2
+
+
+class TestPortResolution:
+    def test_input_port_by_name(self, config):
+        program = StreamProgram("p", config)
+        program.mem_port(0, 16, 16, 1, "A")
+        command = program.commands[-1]
+        assert command.dest == in_port(config.hw_input_port("A"))
+
+    def test_output_port_by_name(self, config):
+        program = StreamProgram("p", config)
+        program.port_mem("C", 8, 8, 1, 0x100)
+        command = program.commands[-1]
+        assert command.source == out_port(config.hw_output_port("C"))
+
+    def test_unknown_port_name(self, config):
+        program = StreamProgram("p", config)
+        with pytest.raises(ProgramError, match="not a DFG"):
+            program.mem_port(0, 8, 8, 1, "NOPE")
+
+    def test_output_name_where_input_expected(self, config):
+        program = StreamProgram("p", config)
+        with pytest.raises(ProgramError):
+            program.mem_port(0, 8, 8, 1, "C")
+
+    def test_explicit_portref_kind_checked(self, config):
+        program = StreamProgram("p", config)
+        with pytest.raises(ProgramError):
+            program.clean_port(1, in_port(0))
+
+    def test_unbound_program_rejects_names(self):
+        program = StreamProgram("raw")
+        with pytest.raises(ProgramError, match="no CGRA config"):
+            program.const_port(0, 1, "R")
+
+    def test_unbound_program_accepts_portrefs(self):
+        program = StreamProgram("raw")
+        program.const_port(0, 4, in_port(2))
+        assert isinstance(program.commands[0], SDConstPort)
+
+
+class TestProgramAccounting:
+    def test_host_compute(self, config):
+        program = StreamProgram("p", config)
+        program.host(5)
+        assert program.items[-1] == HostCompute(5)
+
+    def test_host_negative_rejected(self, config):
+        program = StreamProgram("p", config)
+        with pytest.raises(ValueError):
+            program.host(-1)
+
+    def test_commands_excludes_host(self, config):
+        program = StreamProgram("p", config)
+        program.host(5)
+        program.barrier_all()
+        assert len(program.commands) == 2  # config + barrier
+        assert program.num_commands == 2
+
+    def test_control_instructions_counts_both(self, config):
+        program = StreamProgram("p", config)
+        base = program.control_instructions  # config = 1
+        program.host(5)
+        program.mem_port(0, 8, 8, 1, "A")  # 2 instructions
+        program.barrier_all()  # 1 instruction
+        assert program.control_instructions == base + 5 + 2 + 1
+
+    def test_mem_to_indirect(self, config):
+        program = StreamProgram("p", config)
+        program.mem_to_indirect(0x100, 12, 1)
+        command = program.commands[-1]
+        assert isinstance(command, SDMemPort)
+        assert command.dest.kind == "ind"
+        assert command.pattern.num_elements == 12
+
+    def test_signed_flag_plumbed(self, config):
+        program = StreamProgram("p", config)
+        program.mem_port(0, 8, 8, 1, "A", elem_bytes=2, signed=True)
+        assert program.commands[-1].pattern.signed
+
+    def test_repr(self, config):
+        program = StreamProgram("p", config)
+        assert "p" in repr(program)

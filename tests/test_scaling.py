@@ -1,0 +1,53 @@
+"""Size-stability checks: the reported ratios survive workload scaling.
+
+Every result in EXPERIMENTS.md is a ratio between machines evaluated at the
+same (scaled-down) sizes.  These tests double a workload's size and check
+the Softbrain-vs-CPU ratio moves by less than a small factor — evidence the
+scaled sizes do not distort the comparisons' shape.
+"""
+
+import pytest
+
+from repro.baselines.cpu import estimate_cpu_cycles
+from repro.workloads.common import run_and_verify
+from repro.workloads.machsuite.gemm import build_gemm, gemm_census
+from repro.workloads.machsuite.stencil2d import build_stencil2d, stencil2d_census
+from repro.workloads.machsuite.viterbi import build_viterbi, viterbi_census
+
+
+def speedup(built, census):
+    result = run_and_verify(built)
+    return estimate_cpu_cycles(census).cycles / result.cycles
+
+
+class TestSizeStability:
+    def test_gemm_ratio_stable_under_scaling(self):
+        small = speedup(build_gemm(n=16), gemm_census(16))
+        large = speedup(build_gemm(n=32), gemm_census(32))
+        assert 0.5 < large / small < 2.5
+
+    def test_stencil_ratio_stable_under_scaling(self):
+        small = speedup(
+            build_stencil2d(width=18, height=10), stencil2d_census(18, 10)
+        )
+        large = speedup(
+            build_stencil2d(width=34, height=18), stencil2d_census(34, 18)
+        )
+        assert 0.5 < large / small < 2.5
+
+    def test_viterbi_ratio_stable_under_scaling(self):
+        small = speedup(
+            build_viterbi(n_states=8, n_steps=12), viterbi_census(8, 12)
+        )
+        large = speedup(
+            build_viterbi(n_states=16, n_steps=24), viterbi_census(16, 24)
+        )
+        assert 0.4 < large / small < 3.0
+
+    def test_larger_problems_take_proportionally_longer(self):
+        small = run_and_verify(build_gemm(n=16)).cycles
+        large = run_and_verify(build_gemm(n=32)).cycles
+        work_ratio = (32 / 16) ** 3
+        time_ratio = large / small
+        # near-linear in MAC count (within a factor of 2 of proportional)
+        assert work_ratio / 2 < time_ratio < work_ratio * 2

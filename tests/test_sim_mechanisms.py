@@ -1,0 +1,158 @@
+"""Targeted tests for the microarchitectural mechanisms of Section 4.
+
+Each test isolates one mechanism — scratch barriers, the balance unit,
+all-requests-in-flight, indirect-AGU coalescing — and checks both its
+functional effect and its performance signature.
+"""
+
+import pytest
+
+from repro.cgra import broadly_provisioned, dnn_provisioned
+from repro.core.compiler import schedule
+from repro.core.dfg import parse_dfg
+from repro.core.isa import StreamProgram
+from repro.sim import MemorySystem, SoftbrainParams, run_program
+from repro.workloads.common import read_words, write_words
+
+
+def passthrough(fabric):
+    return schedule(parse_dfg("input A\nx = pass A\noutput O x", "copy"), fabric)
+
+
+class TestScratchBarriers:
+    def test_write_barrier_orders_read_after_write(self):
+        fabric = dnn_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0, [11, 22])
+        program = StreamProgram("wr-then-rd", passthrough(fabric))
+        program.mem_scratch(0, 16, 16, 1, 0)
+        program.barrier_scratch_wr()
+        program.scratch_port(0, 16, 16, 1, "A")
+        program.port_mem("O", 16, 16, 1, 0x100)
+        program.barrier_all()
+        run_program(program, fabric=fabric, memory=memory)
+        assert read_words(memory, 0x100, 2) == [11, 22]
+
+    def test_read_barrier_orders_overwrite(self):
+        # read old contents, barrier, overwrite, barrier, read new contents
+        fabric = dnn_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0, [1, 2])
+        write_words(memory, 0x40, [3, 4])
+        program = StreamProgram("rd-then-wr", passthrough(fabric))
+        program.mem_scratch(0, 16, 16, 1, 0)
+        program.barrier_scratch_wr()
+        program.scratch_port(0, 16, 16, 1, "A")
+        program.barrier_scratch_rd()  # overwrite must wait for this read
+        program.mem_scratch(0x40, 16, 16, 1, 0)
+        program.barrier_scratch_wr()
+        program.scratch_port(0, 16, 16, 1, "A")
+        program.port_mem("O", 32, 32, 1, 0x100)
+        program.barrier_all()
+        run_program(program, fabric=fabric, memory=memory)
+        assert read_words(memory, 0x100, 4) == [1, 2, 3, 4]
+
+
+class TestIndirectCoalescing:
+    def _gather(self, indices, **mem_kwargs):
+        fabric = broadly_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0x1000, list(range(0, 2048, 1)))
+        write_words(memory, 0x8000, indices)
+        memory.warm(0x1000, 2048 * 8)
+        memory.warm(0x8000, len(indices) * 8)
+        program = StreamProgram("g", passthrough(fabric))
+        program.mem_to_indirect(0x8000, len(indices), 0)
+        program.ind_port_port(0, 0x1000, "A", len(indices))
+        program.port_mem("O", len(indices) * 8, len(indices) * 8, 1, 0x20000)
+        program.barrier_all()
+        result = run_program(program, fabric=fabric, memory=memory)
+        got = read_words(memory, 0x20000, len(indices))
+        assert got == [i for i in indices]
+        return result
+
+    def test_sequential_indices_coalesce(self):
+        seq = self._gather(list(range(32)))
+        scattered = self._gather([(i * 67) % 1024 for i in range(32)])
+        # sequential gathers need fewer memory reads than scattered ones
+        assert seq.memory.stats.reads < scattered.memory.stats.reads
+
+
+class TestBalanceUnit:
+    def test_unbalanced_ports_both_served(self):
+        # Two input streams of very different shapes must both complete:
+        # one strided (slow, many lines), one linear (fast).
+        fabric = dnn_provisioned()
+        dfg = parse_dfg(
+            "input A\ninput B\nx = add A B\noutput O x", "adder"
+        )
+        config = schedule(dfg, fabric)
+        memory = MemorySystem()
+        n = 32
+        write_words(memory, 0, list(range(4096)))
+        program = StreamProgram("bal", config)
+        program.mem_port(0, n * 8, n * 8, 1, "A")  # linear
+        program.mem_port(0, 512, 8, n, "B")  # strided: line per element
+        program.port_mem("O", n * 8, n * 8, 1, 0x10000)
+        program.barrier_all()
+        result = run_program(program, fabric=fabric, memory=memory)
+        assert result.stats.instances_fired == n
+
+    def test_ablation_flags_accepted(self):
+        fabric = dnn_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0, [5])
+        program = StreamProgram("flags", passthrough(fabric))
+        program.mem_port(0, 8, 8, 1, "A")
+        program.port_mem("O", 8, 8, 1, 0x100)
+        program.barrier_all()
+        result = run_program(
+            program,
+            fabric=fabric,
+            memory=memory,
+            params=SoftbrainParams(
+                balance_unit=False, all_requests_in_flight=False
+            ),
+        )
+        assert read_words(memory, 0x100, 1) == [5]
+
+
+class TestAllRequestsInFlight:
+    def _back_to_back(self, enabled):
+        fabric = dnn_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0, list(range(256)))
+        memory.warm(0, 2048)
+        program = StreamProgram("b2b", passthrough(fabric))
+        # 16 short same-port streams back to back
+        for i in range(16):
+            program.mem_port(i * 128, 128, 128, 1, "A")
+        program.port_mem("O", 2048, 2048, 1, 0x10000)
+        program.barrier_all()
+        result = run_program(
+            program,
+            fabric=fabric,
+            memory=memory,
+            params=SoftbrainParams(all_requests_in_flight=enabled),
+        )
+        assert read_words(memory, 0x10000, 256) == list(range(256))
+        return result.cycles
+
+    def test_overlap_helps_back_to_back_streams(self):
+        assert self._back_to_back(True) < self._back_to_back(False)
+
+
+class TestMemoryWriteVisibility:
+    def test_store_then_load_same_region_with_barrier(self):
+        fabric = dnn_provisioned()
+        memory = MemorySystem()
+        write_words(memory, 0, [7, 8])
+        program = StreamProgram("rmw", passthrough(fabric))
+        program.mem_port(0, 16, 16, 1, "A")
+        program.port_mem("O", 16, 16, 1, 0x100)
+        program.barrier_all()  # writes globally visible
+        program.mem_port(0x100, 16, 16, 1, "A")
+        program.port_mem("O", 16, 16, 1, 0x200)
+        program.barrier_all()
+        run_program(program, fabric=fabric, memory=memory)
+        assert read_words(memory, 0x200, 2) == [7, 8]

@@ -1,0 +1,132 @@
+"""Unit tests for the memory substrate and scratchpad."""
+
+import pytest
+
+from repro.sim.memory import BackingStore, MemoryParams, MemorySystem
+from repro.sim.scratchpad import Scratchpad, ScratchpadError
+
+
+class TestBackingStore:
+    def test_read_write_round_trip(self):
+        store = BackingStore()
+        store.write(0x1234, b"hello world")
+        assert store.read(0x1234, 11) == b"hello world"
+
+    def test_uninitialised_reads_zero(self):
+        assert BackingStore().read(0x9999, 4) == b"\x00" * 4
+
+    def test_cross_page_access(self):
+        store = BackingStore()
+        addr = 4096 - 3
+        store.write(addr, b"abcdef")
+        assert store.read(addr, 6) == b"abcdef"
+
+    def test_word_round_trip(self):
+        store = BackingStore()
+        store.write_word(0x100, -5, 8)
+        assert store.read_word(0x100, 8, signed=True) == -5
+        assert store.read_word(0x100, 8) == (1 << 64) - 5
+
+    def test_narrow_word(self):
+        store = BackingStore()
+        store.write_word(0x10, -1, 2)
+        assert store.read_word(0x10, 2, signed=True) == -1
+        assert store.read_word(0x10, 2) == 0xFFFF
+
+    def test_read_extended_sign(self):
+        store = BackingStore()
+        store.write_word(0, -2, 2)
+        assert store.read_extended(0, 2, signed=True) == (1 << 64) - 2
+        assert store.read_extended(0, 2, signed=False) == 0xFFFE
+
+    def test_sparse_pages_far_apart(self):
+        store = BackingStore()
+        store.write_word(0, 1)
+        store.write_word(1 << 40, 2)
+        assert store.read_word(0) == 1
+        assert store.read_word(1 << 40) == 2
+
+
+class TestMemoryTiming:
+    def test_cold_miss_pays_dram_latency(self):
+        memory = MemorySystem(MemoryParams(l2_hit_latency=10, dram_latency=90))
+        ready = memory.issue(0, 0, False, 64)
+        assert ready == 90
+
+    def test_hit_after_fill(self):
+        memory = MemorySystem(MemoryParams(l2_hit_latency=10, dram_latency=90))
+        memory.issue(0, 0, False, 64)
+        assert memory.issue(1, 0, False, 64) == 1 + 10
+        assert memory.stats.hits == 1
+        assert memory.stats.misses == 1
+
+    def test_warm_makes_hits(self):
+        memory = MemorySystem()
+        memory.warm(0, 256)
+        ready = memory.issue(0, 64, False, 64)
+        assert ready == memory.params.l2_hit_latency
+
+    def test_dram_bandwidth_serialises_misses(self):
+        params = MemoryParams(dram_latency=90, dram_gap_cycles=4)
+        memory = MemorySystem(params)
+        first = memory.issue(0, 0, False, 64)
+        second = memory.issue(1, 64, False, 64)
+        assert second == first + 4
+
+    def test_accepts_per_cycle_enforced(self):
+        memory = MemorySystem()
+        assert memory.can_accept(5)
+        memory.issue(5, 0, False, 64)
+        assert not memory.can_accept(5)
+        assert memory.can_accept(6)
+        with pytest.raises(RuntimeError):
+            memory.issue(5, 64, False, 64)
+
+    def test_lru_eviction(self):
+        params = MemoryParams(l2_size_bytes=2 * 64)  # two lines
+        memory = MemorySystem(params)
+        memory.issue(0, 0, False, 64)
+        memory.issue(1, 64, False, 64)
+        memory.issue(2, 128, False, 64)  # evicts line 0
+        memory.issue(3, 0, False, 64)
+        assert memory.stats.misses == 4
+
+    def test_stats_track_traffic(self):
+        memory = MemorySystem()
+        memory.issue(0, 0, False, 48)
+        memory.issue(1, 64, True, 16)
+        assert memory.stats.bytes_read == 48
+        assert memory.stats.bytes_written == 16
+        assert memory.stats.requests == 2
+
+
+class TestScratchpad:
+    def test_round_trip(self):
+        scratch = Scratchpad(4096)
+        scratch.write(100, b"data!")
+        assert scratch.read(100, 5) == b"data!"
+
+    def test_bounds_checked(self):
+        scratch = Scratchpad(4096)
+        with pytest.raises(ScratchpadError):
+            scratch.read(4090, 10)
+        with pytest.raises(ScratchpadError):
+            scratch.write(-1, b"x")
+
+    def test_word_helpers(self):
+        scratch = Scratchpad(4096)
+        scratch.write_word(8, -3, 8)
+        assert scratch.read_word(8, signed=True) == -3
+        assert scratch.read_extended(8, 8, False) == (1 << 64) - 3
+
+    def test_stats(self):
+        scratch = Scratchpad(4096)
+        scratch.write(0, b"12345678")
+        scratch.read(0, 8)
+        assert scratch.stats.writes == 1
+        assert scratch.stats.reads == 1
+        assert scratch.stats.bytes_read == 8
+
+    def test_size_must_be_multiple_of_width(self):
+        with pytest.raises(ValueError):
+            Scratchpad(100, 64)
