@@ -8,6 +8,12 @@ Usage::
     python -m repro table1|table3|table4      # render a table
     python -m repro fig11|fig12|fig13|fig14|fig15
     python -m repro timeline dotprod          # Figure 4(b)-style timeline
+    python -m repro trace gemm --trace-out t.json   # structured trace + metrics
+    python -m repro trace --schema            # the trace event vocabulary
+
+``run`` and ``timeline`` also accept ``--trace-out PATH`` to record a
+trace alongside their normal output (``.jsonl`` = JSON Lines, anything
+else = Chrome/Perfetto JSON; see docs/TRACING.md).
 """
 
 from __future__ import annotations
@@ -44,13 +50,24 @@ def _build_workload(name: str, units: int):
     raise SystemExit(f"unknown workload {name!r}; try 'python -m repro list'")
 
 
+def _file_sink(path):
+    from .trace import sink_for_path
+
+    return sink_for_path(path)
+
+
 def _cmd_run(args) -> int:
     from .power import estimate_power
     from .workloads.common import run_and_verify
 
     built = _build_workload(args.workload, args.units)
+    sink = _file_sink(args.trace_out) if args.trace_out else None
     started = time.time()
-    result = run_and_verify(built)
+    try:
+        result = run_and_verify(built, trace=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     wall = time.time() - started
     power = estimate_power(result, built.fabric)
     print(f"{built.name}: verified OK")
@@ -63,6 +80,8 @@ def _cmd_run(args) -> int:
           f"{result.memory.stats.bytes_written} B written")
     print(f"  estimated power:   {power.total_mw:.1f} mW (one unit)")
     print(f"  simulated in {wall:.2f}s wall clock")
+    if args.trace_out:
+        print(f"  trace written to {args.trace_out}")
     if args.power:
         print()
         print(power.table())
@@ -71,12 +90,59 @@ def _cmd_run(args) -> int:
 
 def _cmd_timeline(args) -> int:
     from .sim import render_timeline
-    from .sim.softbrain import run_program
     from .workloads.common import run_and_verify
 
     built = _build_workload(args.workload, 1)
-    result = run_and_verify(built)
+    sink = _file_sink(args.trace_out) if args.trace_out else None
+    try:
+        result = run_and_verify(built, trace=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     print(render_timeline(result.timeline, width=args.width))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Trace a workload: write a trace file, print derived metrics, and
+    cross-check the event-derived totals against SimStats."""
+    from .trace import MetricsRegistry, TeeSink, format_schema_table
+    from .workloads.common import run_and_verify
+
+    if args.schema:
+        print(format_schema_table())
+        return 0
+    if not args.workload:
+        raise SystemExit("workload required (or use --schema)")
+
+    built = _build_workload(args.workload, args.units)
+    metrics = MetricsRegistry(window=args.window)
+    sinks = [metrics]
+    if args.trace_out:
+        sinks.append(_file_sink(args.trace_out))
+    sink = TeeSink(*sinks)
+    started = time.time()
+    try:
+        result = run_and_verify(built, trace=sink)
+    finally:
+        sink.close()
+    wall = time.time() - started
+
+    print(f"{built.name}: verified OK in {result.cycles} cycles "
+          f"({wall:.2f}s wall clock)")
+    print(metrics.summary())
+    mismatches = metrics.reconcile(result.stats)
+    if mismatches:
+        print("RECONCILIATION FAILED (event totals vs SimStats):")
+        for name, (from_events, from_stats) in sorted(mismatches.items()):
+            print(f"  {name}: events={from_events} stats={from_stats}")
+        return 1
+    print("event-derived totals reconcile exactly with SimStats")
+    if args.trace_out:
+        kind = "JSONL" if args.trace_out.endswith(".jsonl") else "Chrome/Perfetto"
+        print(f"{kind} trace written to {args.trace_out}")
     return 0
 
 
@@ -118,12 +184,33 @@ def main(argv=None) -> int:
                             help="partition DNN layers across N units")
     run_parser.add_argument("--power", action="store_true",
                             help="print the per-component power breakdown")
+    run_parser.add_argument("--trace-out", metavar="PATH",
+                            help="record a structured trace "
+                                 "(.jsonl = JSON Lines, else Chrome JSON)")
 
     timeline_parser = sub.add_parser(
         "timeline", help="render a command-lifetime timeline"
     )
     timeline_parser.add_argument("workload")
     timeline_parser.add_argument("--width", type=int, default=72)
+    timeline_parser.add_argument("--trace-out", metavar="PATH",
+                                 help="also record a structured trace")
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="trace a workload: per-component metrics + optional trace file",
+    )
+    trace_parser.add_argument("workload", nargs="?")
+    trace_parser.add_argument("--trace-out", metavar="PATH",
+                              help="write the event stream "
+                                   "(.jsonl = JSON Lines, else Chrome JSON "
+                                   "loadable in Perfetto)")
+    trace_parser.add_argument("--units", type=int, default=1,
+                              help="partition DNN layers across N units")
+    trace_parser.add_argument("--window", type=int, default=64,
+                              help="utilization-series window, cycles")
+    trace_parser.add_argument("--schema", action="store_true",
+                              help="print the trace event vocabulary and exit")
 
     for table in ("table1", "table3", "table4",
                   "fig11", "fig12", "fig13", "fig14", "fig15"):
@@ -136,6 +223,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_table(args.command)
 
 

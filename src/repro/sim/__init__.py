@@ -1,4 +1,9 @@
-"""Cycle-level simulator of the Softbrain microarchitecture."""
+"""Cycle-level simulator of the Softbrain microarchitecture.
+
+Observability: every component accepts a :class:`repro.trace.TraceSink`
+(via ``run_program(..., trace=...)`` / ``run_multi_unit(..., trace=...)``)
+and emits the structured events documented in ``docs/TRACING.md``.
+"""
 
 from .cgra_exec import CgraExecutor, CompiledDfg
 from .control_core import ControlCore

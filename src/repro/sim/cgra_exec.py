@@ -22,6 +22,7 @@ from ..core.dfg.instructions import (
     accumulator_identity,
     mask_word,
 )
+from ..trace import TraceEvent
 from .vector_port import VectorPortState
 
 
@@ -145,12 +146,24 @@ class CgraExecutor:
     def tick(self, cycle: int) -> bool:
         """Fire at most one instance (II = 1)."""
         ok, why = self.can_fire()
+        sink = self.sim.trace
         if not ok:
-            # Only count stalls while there is actually upstream data.
+            # Only count stalls while there is actually upstream data;
+            # the cgra.stall emissions mirror the counters one-for-one.
             if why == "output":
                 self.sim.stats.cgra_stall_no_output_room += 1
+                if sink.enabled:
+                    sink.emit(TraceEvent(
+                        "cgra.stall", cycle, self.sim.unit, "cgra",
+                        {"cause": "no_output_room"},
+                    ))
             elif any(port.occupancy for _, _, port in self.inputs):
                 self.sim.stats.cgra_stall_no_input += 1
+                if sink.enabled:
+                    sink.emit(TraceEvent(
+                        "cgra.stall", cycle, self.sim.unit, "cgra",
+                        {"cause": "no_input"},
+                    ))
             return False
         inputs = {
             name: port.pop_words(width) for name, width, port in self.inputs
@@ -168,4 +181,10 @@ class CgraExecutor:
 
         self.sim.schedule(done, deliver)
         self.sim.stats.note_firing(self.ops_per_instance, self.fu_ops_per_instance)
+        if sink.enabled:
+            sink.emit(TraceEvent(
+                "cgra.fire", cycle, self.sim.unit, "cgra",
+                {"ops": self.ops_per_instance,
+                 "fu": self.fu_ops_per_instance},
+            ))
         return True

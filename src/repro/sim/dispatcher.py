@@ -28,6 +28,7 @@ from ..core.isa.commands import (
     is_barrier,
     port_uses,
 )
+from ..trace import TraceEvent
 from .stats import CommandTrace
 
 #: command-queue capacity between core and dispatcher
@@ -63,6 +64,13 @@ class Dispatcher:
             raise RuntimeError("dispatcher queue not ready (core should stall)")
         trace = self.sim.timeline.note_enqueue(command, cycle)
         self.queue.append(trace)
+        sink = self.sim.trace
+        if sink.enabled:
+            sink.emit(TraceEvent(
+                "command.enqueue", cycle, self.sim.unit, "dispatcher",
+                {"index": trace.index, "command": trace.label,
+                 "queue_depth": len(self.queue)},
+            ))
         return trace
 
     @property
@@ -91,11 +99,19 @@ class Dispatcher:
             command = trace.command
 
             if is_barrier(command):
+                sink = self.sim.trace
                 if position == 0 and self._barrier_met(command):
                     self.queue.popleft()
                     trace.dispatched = cycle
                     trace.completed = cycle
+                    if sink.enabled:
+                        self._trace_barrier_release(sink, trace, cycle)
                     return True
+                if sink.enabled and position == 0:
+                    sink.emit(TraceEvent(
+                        "barrier.wait", cycle, self.sim.unit, "dispatcher",
+                        {"index": trace.index, "command": trace.label},
+                    ))
                 return False  # nothing may pass a pending barrier
 
             if isinstance(command, SDConfig) and not self._resources_free(command):
@@ -116,11 +132,34 @@ class Dispatcher:
             trace.dispatched = cycle
             for key in ports:
                 self.busy_ports[key] = self.busy_ports.get(key, 0) + 1
+            sink = self.sim.trace
+            if sink.enabled:
+                sink.emit(TraceEvent(
+                    "command.dispatch", cycle, self.sim.unit, "dispatcher",
+                    {"index": trace.index, "command": trace.label,
+                     "engine": command.engine,
+                     "wait_cycles": cycle - trace.enqueued},
+                ))
             self.sim.issue_to_engine(command, trace)
             self.issued_total += 1
             self.sim.stats.commands_issued += 1
             return True
         return False
+
+    def _trace_barrier_release(self, sink, trace: CommandTrace,
+                               cycle: int) -> None:
+        """Barriers dispatch and complete in the same cycle — emit both
+        lifetime events so every timeline index appears in the trace."""
+        common = {"index": trace.index, "command": trace.label,
+                  "engine": "barrier"}
+        sink.emit(TraceEvent(
+            "command.dispatch", cycle, self.sim.unit, "dispatcher",
+            dict(common, wait_cycles=cycle - trace.enqueued),
+        ))
+        sink.emit(TraceEvent(
+            "command.complete", cycle, self.sim.unit, "dispatcher",
+            dict(common, latency=0),
+        ))
 
     def _resources_free(self, command: Command) -> bool:
         engine = self.sim.engines[command.engine]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.isa.patterns import LINE_BYTES
+from ..trace import NULL_SINK, SHARED_UNIT, TraceEvent, TraceSink
 
 _PAGE_BITS = 12
 _PAGE_BYTES = 1 << _PAGE_BITS
@@ -119,6 +120,17 @@ class MemorySystem:
         self._accepted_at: int = -1
         self._accepted_count: int = 0
         self._dram_free_at: int = 0
+        self.trace: TraceSink = NULL_SINK
+        self._trace_unit = SHARED_UNIT
+
+    def attach_trace(self, sink: TraceSink, unit: int = SHARED_UNIT) -> None:
+        """Emit one ``mem.access`` event per accepted line request.
+
+        ``unit`` tags the events; a memory shared by several units keeps
+        the default :data:`~repro.trace.SHARED_UNIT`.
+        """
+        self.trace = sink
+        self._trace_unit = unit
 
     # -- functional -----------------------------------------------------------
 
@@ -164,11 +176,19 @@ class MemorySystem:
             self.stats.bytes_read += nbytes
         if hit:
             self.stats.hits += 1
-            return cycle + self.params.l2_hit_latency
-        self.stats.misses += 1
-        start = max(cycle, self._dram_free_at)
-        self._dram_free_at = start + self.params.dram_gap_cycles
-        return start + self.params.dram_latency
+            ready = cycle + self.params.l2_hit_latency
+        else:
+            self.stats.misses += 1
+            start = max(cycle, self._dram_free_at)
+            self._dram_free_at = start + self.params.dram_gap_cycles
+            ready = start + self.params.dram_latency
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                "mem.access", cycle, self._trace_unit, "memory",
+                {"line_addr": line_addr, "write": is_write,
+                 "bytes": nbytes, "hit": hit, "ready": ready},
+            ))
+        return ready
 
     def warm(self, addr: int, nbytes: int) -> None:
         """Mark an address range as L2-resident (for warm-cache runs)."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.isa.program import StreamProgram
+from ..trace import TraceSink
 from .memory import MemorySystem
 from .softbrain import (
     RunResult,
@@ -49,21 +50,28 @@ def run_multi_unit(
     fabric_factory,
     memory: Optional[MemorySystem] = None,
     params: Optional[SoftbrainParams] = None,
+    trace: Optional[TraceSink] = None,
 ) -> MultiUnitResult:
     """Simulate one program per unit on a shared memory interface.
 
     ``fabric_factory`` is called once per unit (each tile has its own
     fabric instance).  Returns when every unit's program has drained; the
     device cycle count is the slowest unit's finish cycle.
+
+    With ``trace``, each unit's events carry its index as ``unit`` and
+    the shared memory interface emits device-level events tagged
+    :data:`~repro.trace.SHARED_UNIT`.
     """
     if not programs:
         raise ValueError("need at least one unit program")
     memory = memory or MemorySystem()
     params = params or SoftbrainParams()
+    if trace is not None and trace.enabled:
+        memory.attach_trace(trace)  # shared: keep the device-level tag
     sims = [
         SoftbrainSim(program, fabric=fabric_factory(), memory=memory,
-                     params=params)
-        for program in programs
+                     params=params, trace=trace, unit_id=index)
+        for index, program in enumerate(programs)
     ]
     finish_cycle = [0] * len(sims)
     done = [False] * len(sims)

@@ -10,6 +10,9 @@ writers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..trace import NULL_SINK, TraceEvent, TraceSink
 
 
 class ScratchpadError(ValueError):
@@ -34,6 +37,21 @@ class Scratchpad:
         self.width_bytes = width_bytes
         self._data = bytearray(size_bytes)
         self.stats = ScratchpadStats()
+        self.trace: TraceSink = NULL_SINK
+        self._trace_unit = 0
+        self._clock: Optional[Callable[[], int]] = None
+
+    def attach_trace(self, sink: TraceSink, unit: int,
+                     clock: Callable[[], int]) -> None:
+        """Emit ``scratch.read`` / ``scratch.write`` events into ``sink``.
+
+        ``clock`` supplies the current cycle (the scratchpad itself is
+        unclocked; the owning :class:`~repro.sim.softbrain.SoftbrainSim`
+        passes its own cycle counter).
+        """
+        self.trace = sink
+        self._trace_unit = unit
+        self._clock = clock
 
     def _check(self, addr: int, size: int) -> None:
         if addr < 0 or addr + size > self.size_bytes:
@@ -46,12 +64,24 @@ class Scratchpad:
         self._check(addr, size)
         self.stats.reads += 1
         self.stats.bytes_read += size
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                "scratch.read", self._clock() if self._clock else 0,
+                self._trace_unit, "scratchpad",
+                {"addr": addr, "bytes": size},
+            ))
         return bytes(self._data[addr : addr + size])
 
     def write(self, addr: int, data: bytes) -> None:
         self._check(addr, len(data))
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                "scratch.write", self._clock() if self._clock else 0,
+                self._trace_unit, "scratchpad",
+                {"addr": addr, "bytes": len(data)},
+            ))
         self._data[addr : addr + len(data)] = data
 
     def read_word(self, addr: int, size: int = 8, signed: bool = False) -> int:

@@ -13,6 +13,16 @@ event (memory completion, CGRA pipeline exit).  A cycle with no progress
 *and* no pending events is a deadlock and raises
 :class:`SimulationDeadlock` with a component dump — the situation the
 paper's balance unit and buffering rules exist to prevent.
+
+Observability: pass a :class:`repro.trace.TraceSink` as ``trace`` and
+every component emits structured :class:`repro.trace.TraceEvent` records
+— ``command.enqueue`` / ``command.dispatch`` / ``command.complete``
+lifetimes (the machine-readable form of the
+:class:`repro.sim.stats.Timeline`), ``engine.busy``, ``cgra.fire`` /
+``cgra.stall``, ``mem.access``, ``scratch.read`` / ``scratch.write``,
+``barrier.wait`` and periodic ``port.sample`` depth probes.  The default
+:data:`repro.trace.NULL_SINK` keeps every hot path a single boolean test;
+see ``docs/TRACING.md`` for the full vocabulary.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from ..core.isa.commands import (
     port_uses,
 )
 from ..core.isa.program import StreamProgram
+from ..trace import NULL_SINK, TraceEvent, TraceSink
 from .cgra_exec import CgraExecutor
 from .control_core import ControlCore
 from .dispatcher import Dispatcher
@@ -71,6 +82,8 @@ class SoftbrainParams:
     max_cycles: int = 50_000_000
     balance_unit: bool = True
     all_requests_in_flight: bool = True
+    #: stepped cycles between ``port.sample`` trace events (traced runs only)
+    trace_sample_interval: int = 64
 
 
 @dataclass
@@ -96,6 +109,8 @@ class SoftbrainSim:
         fabric: Optional[Fabric] = None,
         memory: Optional[MemorySystem] = None,
         params: Optional[SoftbrainParams] = None,
+        trace: Optional[TraceSink] = None,
+        unit_id: int = 0,
     ) -> None:
         self.program = program
         self.fabric = fabric or dnn_provisioned()
@@ -104,6 +119,18 @@ class SoftbrainSim:
         self.scratchpad = Scratchpad(self.params.scratch_bytes)
         self.stats = SimStats()
         self.timeline = Timeline()
+        self.trace = trace or NULL_SINK
+        self.unit = unit_id
+        if self.trace.enabled:
+            self.scratchpad.attach_trace(
+                self.trace, unit_id, lambda: self.cycle
+            )
+            # A shared MemorySystem may already carry a device-level sink
+            # (multi-unit); otherwise this unit owns the memory events.
+            if not self.memory.trace.enabled:
+                self.memory.attach_trace(self.trace, unit_id)
+        self._next_port_sample = 0
+        self._sampled_ports: set = set()
 
         from .vector_port import VectorPortState
 
@@ -159,6 +186,16 @@ class SoftbrainSim:
     def stream_completed(self, stream: ActiveStream, cycle: int) -> None:
         command = stream.command
         stream.trace.completed = cycle
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                "command.complete", cycle, self.unit, "dispatcher",
+                {
+                    "index": stream.trace.index,
+                    "command": stream.trace.label,
+                    "engine": command.engine,
+                    "latency": cycle - (stream.trace.dispatched or cycle),
+                },
+            ))
         if isinstance(command, SDScratchPort):
             self.outstanding["scratch_rd"] -= 1
         elif isinstance(command, (SDPortScratch, SDMemScratch)):
@@ -182,6 +219,11 @@ class SoftbrainSim:
             )
         self.cgra = CgraExecutor(self, image)
         self.config_pending = False
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                "config.apply", self.cycle, self.unit, "softbrain",
+                {"address": address, "dfg": image.dfg.name},
+            ))
 
     def quiesced(self) -> bool:
         """All issued work is complete (used by SD_Barrier_All and config)."""
@@ -202,6 +244,7 @@ class SoftbrainSim:
 
     def step(self, cycle: int) -> bool:
         """Advance all components one cycle; True if anything progressed."""
+        self.cycle = cycle
         progress = False
         events = self._events
         while events and events[0][0] <= cycle:
@@ -218,7 +261,34 @@ class SoftbrainSim:
                 progress = True
         if self.cgra is not None and self.cgra.tick(cycle):
             progress = True
+        if self.trace.enabled and cycle >= self._next_port_sample:
+            self._sample_ports(cycle)
         return progress
+
+    def _sample_ports(self, cycle: int) -> None:
+        """Emit ``port.sample`` depth probes for every active port.
+
+        A port is sampled while it holds or awaits data, plus once more
+        after it empties so depth series return to zero.
+        """
+        self._next_port_sample = cycle + self.params.trace_sample_interval
+        emit = self.trace.emit
+        for ports in (self.input_ports, self.output_ports,
+                      self.indirect_ports):
+            for state in ports.values():
+                name = f"{state.spec.direction}{state.spec.port_id}"
+                occupancy, reserved = state.occupancy, state.reserved
+                if occupancy or reserved:
+                    self._sampled_ports.add(name)
+                elif name in self._sampled_ports:
+                    self._sampled_ports.discard(name)
+                else:
+                    continue
+                emit(TraceEvent(
+                    "port.sample", cycle, self.unit, "ports",
+                    {"port": name, "occupancy": occupancy,
+                     "reserved": reserved},
+                ))
 
     def finished(self) -> bool:
         return self._finished()
@@ -284,7 +354,13 @@ def run_program(
     fabric: Optional[Fabric] = None,
     memory: Optional[MemorySystem] = None,
     params: Optional[SoftbrainParams] = None,
+    trace: Optional[TraceSink] = None,
 ) -> RunResult:
-    """Simulate a stream program on one Softbrain unit."""
-    sim = SoftbrainSim(program, fabric=fabric, memory=memory, params=params)
+    """Simulate a stream program on one Softbrain unit.
+
+    ``trace`` attaches a :class:`repro.trace.TraceSink`; the caller owns
+    the sink's lifetime (call ``sink.close()`` after the run).
+    """
+    sim = SoftbrainSim(program, fabric=fabric, memory=memory, params=params,
+                       trace=trace)
     return sim.run()

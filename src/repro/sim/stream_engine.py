@@ -43,6 +43,7 @@ from ..core.isa.commands import (
     port_uses,
 )
 from ..core.isa.patterns import LINE_BYTES, LineRequest, affine_requests
+from ..trace import TraceEvent
 from .stats import CommandTrace
 from .vector_port import VectorPortState
 
@@ -109,6 +110,20 @@ class StreamEngineBase:
         self.streams.remove(stream)
         self.sim.stream_completed(stream, cycle)
 
+    def _note_busy(self, cycle: int, stream: ActiveStream) -> None:
+        """Account one busy cycle (stats counter + the trace's
+        ``engine.busy`` / ``stream.issue`` pair — kept in lock-step so the
+        two accountings reconcile exactly)."""
+        self.sim.stats.note_engine_busy(self.name)
+        sink = self.sim.trace
+        if sink.enabled:
+            unit = self.sim.unit
+            sink.emit(TraceEvent("engine.busy", cycle, unit, self.name, {}))
+            sink.emit(TraceEvent(
+                "stream.issue", cycle, unit, self.name,
+                {"index": stream.trace.index, "command": stream.trace.label},
+            ))
+
     def _drain_pending(self, stream: ActiveStream, cycle: int) -> bool:
         """Push in-order deliveries whose data has arrived.  True if any.
 
@@ -123,6 +138,18 @@ class StreamEngineBase:
                 if dest.free_words < len(words):
                     break
                 dest.push(words, reserved=False)
+                sink = self.sim.trace
+                if sink.enabled and words:
+                    sink.emit(TraceEvent(
+                        "stream.drain", cycle, self.sim.unit, self.name,
+                        {
+                            "index": stream.trace.index,
+                            "command": stream.trace.label,
+                            "port": f"{dest.spec.direction}"
+                                    f"{dest.spec.port_id}",
+                            "words": len(words),
+                        },
+                    ))
             stream.pending.popleft()
             progressed = True
         return progressed
@@ -236,7 +263,7 @@ class MemReadEngine(StreamEngineBase):
         else:
             ready = self._rotate(ready)
         self._issue(ready[0], cycle)
-        self.sim.stats.note_engine_busy(self.name)
+        self._note_busy(cycle, ready[0])
         return True
 
     def _can_issue(self, stream: ActiveStream) -> bool:
@@ -359,8 +386,9 @@ class MemWriteEngine(StreamEngineBase):
         ready = [s for s in self.streams if self._can_issue(s)]
         if not ready:
             return progressed
-        self._issue(self._rotate(ready)[0], cycle)
-        self.sim.stats.note_engine_busy(self.name)
+        chosen = self._rotate(ready)[0]
+        self._issue(chosen, cycle)
+        self._note_busy(cycle, chosen)
         return True
 
     def _can_issue(self, stream: ActiveStream) -> bool:
@@ -470,8 +498,9 @@ class ScratchEngine(StreamEngineBase):
             if isinstance(s.command, SDScratchPort) and self._read_ready(s)
         ]
         if reads:
-            self._issue_read(self._rotate(reads)[0], cycle)
-            self.sim.stats.note_engine_busy(self.name)
+            chosen = self._rotate(reads)[0]
+            self._issue_read(chosen, cycle)
+            self._note_busy(cycle, chosen)
             progressed = True
 
         # One write-stream action per cycle.
@@ -482,7 +511,7 @@ class ScratchEngine(StreamEngineBase):
         ]
         if writes:
             self._issue_write(writes[0], cycle)
-            self.sim.stats.note_engine_busy(self.name)
+            self._note_busy(cycle, writes[0])
             progressed = True
         return progressed
 
@@ -560,8 +589,9 @@ class RecurrenceEngine(StreamEngineBase):
         ready = [s for s in self.streams if self._ready(s)]
         if not ready:
             return progressed
-        self._issue(self._rotate(ready)[0], cycle)
-        self.sim.stats.note_engine_busy(self.name)
+        chosen = self._rotate(ready)[0]
+        self._issue(chosen, cycle)
+        self._note_busy(cycle, chosen)
         return True
 
     def _ready(self, stream: ActiveStream) -> bool:

@@ -1,0 +1,59 @@
+"""Structured event tracing and metrics for the Softbrain simulator.
+
+The observability layer the performance work builds on: the simulator
+emits typed :class:`TraceEvent` records (vocabulary in
+:data:`EVENT_SCHEMAS`) into a :class:`TraceSink` — :class:`NullSink`
+(default, zero overhead), :class:`JsonlSink`, :class:`ChromeTraceSink`
+(Perfetto-loadable) or an in-memory :class:`ListSink` — and
+:class:`MetricsRegistry` folds the stream into per-component utilization
+series, stall-cause breakdowns and histograms that reconcile exactly with
+``SimStats``.  See ``docs/TRACING.md`` for the format and a worked
+example::
+
+    from repro.trace import ChromeTraceSink, MetricsRegistry, TeeSink
+    metrics = MetricsRegistry()
+    with ChromeTraceSink("gemm.json") as chrome:
+        result = run_program(program, trace=TeeSink(metrics, chrome))
+    print(metrics.summary())
+    assert not metrics.reconcile(result.stats)
+"""
+
+from .events import (
+    EVENT_SCHEMAS,
+    EventSchema,
+    SHARED_UNIT,
+    TraceEvent,
+    format_schema_table,
+    validate_event,
+)
+from .metrics import DEFAULT_WINDOW, Histogram, MetricsRegistry
+from .sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    ListSink,
+    NULL_SINK,
+    NullSink,
+    TeeSink,
+    TraceSink,
+    sink_for_path,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "DEFAULT_WINDOW",
+    "EVENT_SCHEMAS",
+    "EventSchema",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "SHARED_UNIT",
+    "TeeSink",
+    "TraceEvent",
+    "TraceSink",
+    "format_schema_table",
+    "sink_for_path",
+    "validate_event",
+]

@@ -18,6 +18,7 @@ from ..core.isa.patterns import LINE_BYTES
 from ..core.isa.program import StreamProgram
 from ..sim.memory import MemorySystem
 from ..sim.softbrain import RunResult, SoftbrainParams, run_program
+from ..trace import TraceSink
 
 
 class Allocator:
@@ -82,10 +83,17 @@ class BuiltWorkload:
 def run_and_verify(
     built: BuiltWorkload,
     params: Optional[SoftbrainParams] = None,
+    trace: Optional[TraceSink] = None,
 ) -> RunResult:
-    """Simulate a built workload and check its outputs; returns the result."""
+    """Simulate a built workload and check its outputs; returns the result.
+
+    ``trace`` forwards a :class:`repro.trace.TraceSink` to the simulator
+    (the caller closes it), so every experiment harness built on this
+    entry point can record structured traces.
+    """
     result = run_program(
-        built.program, fabric=built.fabric, memory=built.memory, params=params
+        built.program, fabric=built.fabric, memory=built.memory, params=params,
+        trace=trace,
     )
     built.verify(built.memory)
     return result
