@@ -10,6 +10,9 @@ Usage::
     python -m repro timeline dotprod          # Figure 4(b)-style timeline
     python -m repro trace gemm --trace-out t.json   # structured trace + metrics
     python -m repro trace --schema            # the trace event vocabulary
+    python -m repro fuzz --count 200 --seed 0 # differential fuzzing
+    python -m repro fuzz --replay case.json   # replay a saved fuzz case
+    python -m repro fuzz --smoke              # corpus replay + quick batch
 
 ``run`` and ``timeline`` also accept ``--trace-out PATH`` to record a
 trace alongside their normal output (``.jsonl`` = JSON Lines, anything
@@ -146,6 +149,12 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz.cli import cmd_fuzz
+
+    return cmd_fuzz(args)
+
+
 def _cmd_table(name: str) -> int:
     from . import experiments as exp
 
@@ -212,6 +221,29 @@ def main(argv=None) -> int:
     trace_parser.add_argument("--schema", action="store_true",
                               help="print the trace event vocabulary and exit")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: cycle sim vs functional interpreter "
+             "vs pure DFG evaluation (see docs/FUZZING.md)",
+    )
+    fuzz_parser.add_argument("--count", type=int, default=None,
+                             help="random cases to generate (default 100; "
+                                  "12 with --smoke)")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="fuzz seed; same seed => same cases")
+    fuzz_parser.add_argument("--time-budget", type=float, default=None,
+                             metavar="SECONDS",
+                             help="stop generating once elapsed")
+    fuzz_parser.add_argument("--replay", metavar="CASE_JSON",
+                             help="replay one saved case and exit")
+    fuzz_parser.add_argument("--smoke", action="store_true",
+                             help="replay the checked-in corpus plus a "
+                                  "small random batch (CI job)")
+    fuzz_parser.add_argument("--save-dir", default="fuzz-failures",
+                             help="where shrunk repro cases are written")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="save diverging cases without minimising")
+
     for table in ("table1", "table3", "table4",
                   "fig11", "fig12", "fig13", "fig14", "fig15"):
         sub.add_parser(table, help=f"render {table}")
@@ -225,6 +257,8 @@ def main(argv=None) -> int:
         return _cmd_timeline(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_table(args.command)
 
 

@@ -20,6 +20,7 @@ against this interpreter on every workload.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from .commands import (
@@ -48,7 +49,22 @@ WORD_MASK = (1 << 64) - 1
 
 
 class FunctionalDeadlock(RuntimeError):
-    """The program cannot make progress (a genuine program bug)."""
+    """The program cannot make progress (a genuine program bug).
+
+    The message names every unfinished command with the ports it is
+    blocked on (``kind+id:role``, progress so far) and, when a
+    configuration is loaded, which CGRA input ports are starved — enough
+    to localise the bug without re-running anything.
+    """
+
+
+@dataclass
+class FunctionalRunState:
+    """Final functional state, for differential comparison against the
+    cycle-level simulator (see :mod:`repro.fuzz.oracle`)."""
+
+    scratch: bytearray
+    queues: Dict[Tuple[str, int], Deque[int]]
 
 
 class _State:
@@ -102,6 +118,19 @@ class _State:
                 q.extend(results[name])
             fired = True
         return fired
+
+    def starved_inputs(self) -> List[str]:
+        """CGRA input ports lacking a full instance of data (for deadlock
+        diagnostics)."""
+        if self.compiled is None:
+            return []
+        out = []
+        for name, port in self.config.dfg.inputs.items():
+            hw_id = self.config.hw_input_port(name)
+            queue = self.queue(PortRef("in", hw_id))
+            if len(queue) < port.width:
+                out.append(f"in{hw_id} ({name}): {len(queue)}/{port.width} words")
+        return out
 
     # -- element access helpers ---------------------------------------------------
 
@@ -230,16 +259,28 @@ class _Executor:
             return command.pattern.num_elements
         return command.num_elements  # type: ignore[attr-defined]
 
+    def describe(self) -> str:
+        """Human-readable blockage report: command, ports (with role) and
+        element progress."""
+        command = self.command
+        name = type(command).__name__
+        if is_barrier(command) or isinstance(command, (SDConfig, HostCompute)):
+            return name
+        ports = ", ".join(f"{p}:{role}" for p, role in port_uses(command))
+        return f"{name}({ports}; {self.position}/{self._total()} elements)"
+
 
 def interpret_program(
     program: StreamProgram,
     store: BackingStore,
     scratch_bytes: int = 4096,
-) -> None:
+) -> FunctionalRunState:
     """Execute a stream program functionally, mutating ``store`` in place.
 
-    Raises :class:`FunctionalDeadlock` if no legal interleaving lets the
-    program finish (missing data, starved ports).
+    Returns the final :class:`FunctionalRunState` (scratchpad image and
+    residual port queues) so callers can compare end states across
+    implementations.  Raises :class:`FunctionalDeadlock` if no legal
+    interleaving lets the program finish (missing data, starved ports).
     """
     state = _State(program, store, scratch_bytes)
     executors = [_Executor(state, item) for item in program.items]
@@ -276,10 +317,13 @@ def interpret_program(
                 busy |= keys
         if not any_progress:
             stuck = [
-                type(e.command).__name__
-                for i, e in enumerate(executors)
-                if not done[i]
+                executor.describe()
+                for index, executor in enumerate(executors)
+                if not done[index]
             ]
+            starved = state.starved_inputs()
+            extra = f"; starved CGRA inputs: {starved}" if starved else ""
             raise FunctionalDeadlock(
-                f"functional model stuck; unfinished commands: {stuck}"
+                f"functional model stuck; unfinished commands: {stuck}{extra}"
             )
+    return FunctionalRunState(state.scratch, state.queues)

@@ -1,0 +1,55 @@
+"""Differential fuzzing: generators, three-way oracle, shrinker, corpus.
+
+See docs/FUZZING.md.  Entry points:
+
+* :func:`repro.fuzz.generators.random_plan` — draw a legal fuzz case;
+* :func:`repro.fuzz.oracle.run_case` — run the three-way oracle;
+* :func:`repro.fuzz.shrink.shrink` — minimise a diverging case;
+* ``python -m repro fuzz`` — the CLI (:mod:`repro.fuzz.cli`).
+"""
+
+from .case import (
+    BuiltCase,
+    CasePlan,
+    DrainSegment,
+    FeedSegment,
+    PlanError,
+    build_case,
+    plan_from_json,
+    plan_to_json,
+    validate_plan,
+)
+from .generators import (
+    RANDOM_OPS,
+    dfg_from_spec,
+    dfg_to_spec,
+    random_dfg,
+    random_inputs,
+    random_plan,
+)
+from .oracle import Divergence, OracleReport, evaluate_case, run_case
+from .shrink import shrink, trivial_plan
+
+__all__ = [
+    "BuiltCase",
+    "CasePlan",
+    "Divergence",
+    "DrainSegment",
+    "FeedSegment",
+    "OracleReport",
+    "PlanError",
+    "RANDOM_OPS",
+    "build_case",
+    "dfg_from_spec",
+    "dfg_to_spec",
+    "evaluate_case",
+    "plan_from_json",
+    "plan_to_json",
+    "random_dfg",
+    "random_inputs",
+    "random_plan",
+    "run_case",
+    "shrink",
+    "trivial_plan",
+    "validate_plan",
+]

@@ -1,0 +1,200 @@
+"""Divergence shrinking: minimise a diverging plan to a small repro.
+
+Shrinking operates on the :class:`~repro.fuzz.case.CasePlan` genome, not
+on raw command lists — every candidate is re-validated and re-lowered, so
+the minimised case is still legal by construction and replays bit-for-bit
+from its JSON file.
+
+The candidate order is most-aggressive-first: a systemic bug (say, a
+corrupted write path) collapses straight to the 4-command trivial case
+(``SD_Config``, ``SD_Const_Port``, ``SD_Port_Mem``, ``SD_Barrier_All``);
+a narrower bug survives only the transformations that preserve its
+trigger, which is itself diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .case import (
+    CasePlan,
+    DrainSegment,
+    FeedSegment,
+    PlanError,
+    plan_from_json,
+    plan_to_json,
+    validate_plan,
+)
+
+
+def _clone(plan: CasePlan) -> CasePlan:
+    return plan_from_json(plan_to_json(plan))
+
+
+def _widths(plan: CasePlan):
+    inputs = {p["name"]: p["width"] for p in plan.dfg_spec["inputs"]}
+    outputs = {p["name"]: len(p["sources"])
+               for p in plan.dfg_spec["outputs"]}
+    return inputs, outputs
+
+
+def trivial_plan(name: str = "trivial") -> CasePlan:
+    """The smallest legal case: one const word through a pass-through DFG
+    into one linear memory word.  Four commands total."""
+    from .generators import passthrough_dfg_spec
+
+    return CasePlan(
+        name=name,
+        dfg_spec=passthrough_dfg_spec({"A": 1}, {"Z": 1}),
+        schedule_seed=0,
+        num_instances=1,
+        feeds={"A": [FeedSegment(kind="const", count=1, value=1)]},
+        drains={"Z": [DrainSegment(kind="mem", per_access=1, num_strides=1,
+                                   stride_elems=1, elem_bytes=8)]},
+        interleave_seed=0,
+    )
+
+
+def _scaled(plan: CasePlan, instances: int) -> CasePlan:
+    """Same DFG, canonical streams, fewer instances: one const feed per
+    input, one linear memory drain per output, no recurrence."""
+    widths_in, widths_out = _widths(plan)
+    out = _clone(plan)
+    out.num_instances = instances
+    out.recur_in = out.recur_out = ""
+    out.feeds = {
+        port: [FeedSegment(kind="const", count=width * instances, value=1)]
+        for port, width in widths_in.items()
+    }
+    out.drains = {
+        port: [DrainSegment(kind="mem", per_access=width * instances,
+                            num_strides=1, stride_elems=width * instances,
+                            elem_bytes=8)]
+        for port, width in widths_out.items()
+    }
+    return out
+
+
+def _candidates(plan: CasePlan) -> Iterator[CasePlan]:
+    from .generators import passthrough_dfg_spec
+
+    widths_in, widths_out = _widths(plan)
+
+    # 1. Full collapse: is the divergence independent of this case at all?
+    yield trivial_plan(plan.name)
+
+    # 2. Fewer instances with canonical streams.
+    if plan.num_instances > 1 or plan.recur_in or any(
+        seg.kind != "const" for segs in plan.feeds.values() for seg in segs
+    ):
+        yield _scaled(plan, 1)
+    if plan.num_instances > 3:
+        yield _scaled(plan, plan.num_instances // 2)
+
+    # 3. Rule the computation out: swap in a pass-through DFG with the
+    #    same port shapes (stream totals stay valid).
+    if plan.dfg_spec.get("name") != "passthrough":
+        out = _clone(plan)
+        out.dfg_spec = passthrough_dfg_spec(widths_in, widths_out)
+        yield out
+
+    # 4. Drop the recurrence.
+    if plan.recur_in:
+        out = _clone(plan)
+        recur = out.feeds[out.recur_in][-1]
+        out.feeds[out.recur_in][-1] = FeedSegment(
+            kind="const", count=recur.count, value=1)
+        out.drains[out.recur_out][0] = DrainSegment(
+            kind="clean", count=recur.count)
+        out.recur_in = out.recur_out = ""
+        yield out
+
+    # 5. Merge each port's feeds into one const stream.
+    for port, width in widths_in.items():
+        if plan.recur_in == port:
+            continue
+        segs = plan.feeds[port]
+        if len(segs) > 1 or segs[0].kind != "const":
+            out = _clone(plan)
+            out.feeds[port] = [FeedSegment(
+                kind="const", count=width * plan.num_instances, value=1)]
+            yield out
+
+    # 6. Simplify individual feed segments to consts.
+    for port, segs in plan.feeds.items():
+        for index, seg in enumerate(segs):
+            if seg.kind in ("const", "recur"):
+                continue
+            out = _clone(plan)
+            out.feeds[port][index] = FeedSegment(
+                kind="const", count=seg.num_elements, value=1)
+            yield out
+
+    # 7. Simplify individual drains: linear memory first (keeps the
+    #    memory-image check alive), then clean (drops it).
+    for port, segs in plan.drains.items():
+        for index, seg in enumerate(segs):
+            if seg.kind == "recur":
+                continue
+            count = seg.num_elements
+            if seg.kind != "mem" or seg.num_strides > 1 or seg.elem_bytes != 8:
+                out = _clone(plan)
+                out.drains[port][index] = DrainSegment(
+                    kind="mem", per_access=count, num_strides=1,
+                    stride_elems=count, elem_bytes=8)
+                yield out
+            if seg.kind != "clean":
+                out = _clone(plan)
+                out.drains[port][index] = DrainSegment(kind="clean",
+                                                       count=count)
+                yield out
+
+    # 8. Flatten data values.
+    flattened = _clone(plan)
+    touched = False
+    for segs in flattened.feeds.values():
+        for seg in segs:
+            if seg.kind == "const" and seg.value != 1:
+                seg.value, touched = 1, True
+            if seg.array and any(v != 1 for v in seg.array):
+                seg.array, touched = [1] * len(seg.array), True
+    if touched:
+        yield flattened
+
+
+def shrink(plan: CasePlan, diverges: Callable[[CasePlan], bool],
+           max_checks: int = 150) -> CasePlan:
+    """Greedy fixpoint minimisation.
+
+    ``diverges`` re-runs the oracle on a candidate (the caller decides
+    what counts — usually ``bool(run_case(p).divergences)``).  Candidates
+    that fail validation or scheduling are skipped; the loop stops at a
+    fixpoint or after ``max_checks`` oracle runs.
+    """
+    checks = 0
+
+    def reproduces(candidate: CasePlan) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        try:
+            validate_plan(candidate)
+        except PlanError:
+            return False
+        checks += 1
+        try:
+            return diverges(candidate)
+        except Exception:
+            return False
+
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(plan):
+            if plan_to_json(candidate) == plan_to_json(plan):
+                continue
+            if reproduces(candidate):
+                plan = candidate
+                improved = True
+                break
+    return plan

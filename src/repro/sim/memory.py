@@ -84,6 +84,15 @@ class BackingStore:
     def write_word(self, addr: int, value: int, size: int = 8) -> None:
         self.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
+    def snapshot_pages(self) -> Dict[int, bytes]:
+        """Immutable copy of all touched pages (page id -> bytes).
+
+        Absent pages read as zeros, so two stores are equal iff their
+        snapshots agree on the union of their page ids with zero-fill —
+        the comparison the differential oracle performs.
+        """
+        return {pid: bytes(page) for pid, page in self._pages.items()}
+
 
 @dataclass
 class MemoryStats:

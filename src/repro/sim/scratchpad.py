@@ -84,6 +84,11 @@ class Scratchpad:
             ))
         self._data[addr : addr + len(data)] = data
 
+    def snapshot(self) -> bytes:
+        """The full scratchpad image, without touching the access stats
+        (used for end-state comparison by tests and the fuzz oracle)."""
+        return bytes(self._data)
+
     def read_word(self, addr: int, size: int = 8, signed: bool = False) -> int:
         return int.from_bytes(self.read(addr, size), "little", signed=signed)
 

@@ -9,9 +9,10 @@ tests, examples and benchmarks all use.
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..cgra.fabric import Fabric
 from ..core.isa.patterns import LINE_BYTES
@@ -80,23 +81,54 @@ class BuiltWorkload:
     meta: Dict[str, object] = field(default_factory=dict)
 
 
+RngLike = Union[int, random.Random, None]
+
+
+def coerce_rng(rng: RngLike) -> Optional[random.Random]:
+    """Normalise an injectable RNG argument: an ``int`` seeds a fresh
+    :class:`random.Random`, an instance passes through, ``None`` stays
+    ``None``.  Never returns the module-level generator — randomised
+    verification (fuzz oracle sampling) must not perturb, or be perturbed
+    by, anyone else's ``random`` state."""
+    if rng is None or isinstance(rng, random.Random):
+        return rng
+    return make_rng(rng)
+
+
 def run_and_verify(
     built: BuiltWorkload,
     params: Optional[SoftbrainParams] = None,
     trace: Optional[TraceSink] = None,
+    rng: RngLike = None,
 ) -> RunResult:
     """Simulate a built workload and check its outputs; returns the result.
 
     ``trace`` forwards a :class:`repro.trace.TraceSink` to the simulator
     (the caller closes it), so every experiment harness built on this
     entry point can record structured traces.
+
+    ``rng`` (a seed or a :class:`random.Random`) is forwarded to verifiers
+    that declare an ``rng`` parameter — randomised checking stays
+    deterministic under an injected generator instead of mutating the
+    module-level ``random`` state.
     """
     result = run_program(
         built.program, fabric=built.fabric, memory=built.memory, params=params,
         trace=trace,
     )
-    built.verify(built.memory)
+    if _accepts_rng(built.verify):
+        built.verify(built.memory, rng=coerce_rng(rng))
+    else:
+        built.verify(built.memory)
     return result
+
+
+def _accepts_rng(verify: Callable) -> bool:
+    try:
+        parameters = inspect.signature(verify).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "rng" in parameters
 
 
 def make_rng(seed: int) -> random.Random:

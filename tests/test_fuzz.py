@@ -1,0 +1,278 @@
+"""Tests for the differential-fuzzing subsystem (repro.fuzz).
+
+Covers the tentpole pieces — generator legality, the three-way oracle,
+shrinking against an intentionally corrupted interpreter, JSON replay —
+plus the satellite guarantees: seed determinism (byte-identical programs)
+and the injectable-RNG plumbing through ``run_and_verify``.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+import repro.core.isa.interpreter as interpreter_module
+from repro.core.isa.encoding import encode_items
+from repro.fuzz import (
+    CasePlan,
+    DrainSegment,
+    FeedSegment,
+    PlanError,
+    build_case,
+    plan_from_json,
+    plan_to_json,
+    random_plan,
+    run_case,
+    shrink,
+    trivial_plan,
+    validate_plan,
+)
+from repro.fuzz.cli import corpus_paths
+from repro.fuzz.generators import passthrough_dfg_spec
+from repro.fuzz.oracle import evaluate_case
+from repro.__main__ import main
+
+
+def _plan(tag: str) -> CasePlan:
+    return random_plan(random.Random(tag), name=f"test-{tag}")
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("index", range(6))
+    def test_plans_validate_and_build(self, index):
+        plan = _plan(f"gen:{index}")
+        validate_plan(plan)  # raises on any legality violation
+        built = build_case(plan)
+        commands = built.program.commands
+        # Shape invariants: exactly one config first, one full barrier last.
+        assert type(commands[0]).__name__ == "SDConfig"
+        assert type(commands[-1]).__name__ == "SDBarrierAll"
+        assert built.program.num_commands >= 4
+
+    def test_json_roundtrip_is_identity(self):
+        plan = _plan("roundtrip")
+        text = plan_to_json(plan)
+        assert plan_to_json(plan_from_json(text)) == text
+
+    def test_validation_rejects_illegal_plans(self):
+        plan = trivial_plan()
+        # Wrong element total for the port width.
+        bad = plan_from_json(plan_to_json(plan))
+        bad.feeds["A"][0].count = 2
+        with pytest.raises(PlanError):
+            validate_plan(bad)
+        # const after a memory-engine segment on the same port (in-flight
+        # data could be overtaken by the recurrence engine).
+        bad = plan_from_json(plan_to_json(plan))
+        bad.num_instances = 2
+        bad.feeds["A"] = [
+            FeedSegment(kind="mem", per_access=1, num_strides=1,
+                        stride_elems=0, array=[5]),
+            FeedSegment(kind="const", count=1, value=1),
+        ]
+        bad.drains["Z"] = [DrainSegment(kind="clean", count=2)]
+        with pytest.raises(PlanError):
+            validate_plan(bad)
+        # Overlapping write pattern (write completion order is timing-
+        # dependent).
+        bad = plan_from_json(plan_to_json(plan))
+        bad.num_instances = 4
+        bad.feeds["A"] = [FeedSegment(kind="const", count=4, value=1)]
+        bad.drains["Z"] = [DrainSegment(kind="mem", per_access=2,
+                                        num_strides=2, stride_elems=1)]
+        with pytest.raises(PlanError):
+            validate_plan(bad)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("index", range(4))
+    def test_generated_cases_agree(self, index):
+        report = run_case(_plan(f"oracle:{index}"))
+        assert report.ok, [str(d) for d in report.divergences]
+
+    def test_trivial_case_agrees(self):
+        assert run_case(trivial_plan()).ok
+
+    def test_evaluator_predicts_full_output_streams(self):
+        """The pure evaluation produces width x instances words per
+        output port — the exact stream the drains consume."""
+        plan = _plan("eval")
+        built = build_case(plan)
+        expected = evaluate_case(built)
+        widths = {p["name"]: len(p["sources"])
+                  for p in plan.dfg_spec["outputs"]}
+        for port, stream in expected.out_streams.items():
+            assert len(stream) == widths[port] * plan.num_instances
+
+    def test_detects_corrupted_interpreter(self, monkeypatch):
+        _corrupt_interpreter_writes(monkeypatch)
+        report = run_case(trivial_plan())
+        assert not report.ok
+        assert any(d.kind.startswith("interp-") for d in report.divergences)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_program_bytes(self):
+        """Same fuzz seed => byte-identical case JSON, byte-identical
+        encoded command stream, identical oracle verdict."""
+        plan_a = _plan("determinism")
+        plan_b = _plan("determinism")
+        assert plan_to_json(plan_a) == plan_to_json(plan_b)
+        bytes_a = encode_items(build_case(plan_a).program.commands)
+        bytes_b = encode_items(build_case(plan_b).program.commands)
+        assert bytes_a == bytes_b
+        verdict_a = [d.kind for d in run_case(plan_a).divergences]
+        verdict_b = [d.kind for d in run_case(plan_b).divergences]
+        assert verdict_a == verdict_b
+
+    def test_different_seeds_differ(self):
+        assert plan_to_json(_plan("a")) != plan_to_json(_plan("b"))
+
+    def test_rebuild_from_json_gives_same_bytes(self):
+        plan = _plan("rebuild")
+        reloaded = plan_from_json(plan_to_json(plan))
+        assert (encode_items(build_case(plan).program.commands)
+                == encode_items(build_case(reloaded).program.commands))
+
+
+def _corrupt_interpreter_writes(monkeypatch):
+    """Make the functional interpreter write every element off by one —
+    the 'intentionally corrupted implementation' the shrinker acceptance
+    criterion calls for."""
+    original = interpreter_module._State.write_elem
+
+    def corrupted(self, to_scratch, addr, word, size):
+        original(self, to_scratch, addr, word + 1, size)
+
+    monkeypatch.setattr(interpreter_module._State, "write_elem", corrupted)
+
+
+class TestShrinker:
+    def test_corrupted_interpreter_shrinks_to_tiny_repro(
+        self, monkeypatch, tmp_path
+    ):
+        _corrupt_interpreter_writes(monkeypatch)
+        plan = _plan("shrink")
+        assert not run_case(plan).ok
+
+        def diverges(candidate):
+            return bool(run_case(candidate).divergences)
+
+        small = shrink(plan, diverges)
+        built = build_case(small)
+        assert built.program.num_commands <= 5
+
+        # The minimised case replays deterministically from its JSON file.
+        case_path = tmp_path / "repro.json"
+        case_path.write_text(plan_to_json(small))
+        reloaded = plan_from_json(case_path.read_text())
+        assert plan_to_json(reloaded) == plan_to_json(small)
+        assert (encode_items(build_case(reloaded).program.commands)
+                == encode_items(built.program.commands))
+        assert not run_case(reloaded).ok
+
+    def test_shrunk_case_is_clean_without_the_bug(self, tmp_path):
+        """A repro minimised under the corrupted interpreter passes once
+        the corruption is gone — the divergence was the bug, not the case."""
+        assert run_case(trivial_plan()).ok
+
+    def test_shrinker_respects_check_budget(self, monkeypatch):
+        _corrupt_interpreter_writes(monkeypatch)
+        calls = []
+
+        def diverges(candidate):
+            calls.append(1)
+            return bool(run_case(candidate).divergences)
+
+        shrink(_plan("budget"), diverges, max_checks=3)
+        assert len(calls) <= 3
+
+
+class TestCorpus:
+    def test_corpus_exists(self):
+        assert len(corpus_paths()) >= 5
+
+    @pytest.mark.parametrize(
+        "path", corpus_paths(), ids=lambda p: p.stem
+    )
+    def test_corpus_case_replays_clean(self, path):
+        plan = plan_from_json(path.read_text())
+        assert plan_to_json(plan) == path.read_text()  # canonical on disk
+        report = run_case(plan)
+        assert report.ok, [str(d) for d in report.divergences]
+
+    def test_corpus_covers_the_isa_surface(self):
+        kinds = set()
+        recur = False
+        for path in corpus_paths():
+            plan = plan_from_json(path.read_text())
+            for segments in plan.feeds.values():
+                kinds.update(f"feed:{s.kind}" for s in segments)
+            for segments in plan.drains.values():
+                kinds.update(f"drain:{s.kind}" for s in segments)
+            recur = recur or bool(plan.recur_in)
+        assert {"feed:indirect", "feed:scratch", "feed:const",
+                "drain:scatter", "drain:scratch", "drain:mem"} <= kinds
+        assert recur
+
+
+class TestInjectableRng:
+    def test_run_and_verify_forwards_rng(self):
+        from repro.workloads.common import BuiltWorkload, run_and_verify
+
+        plan = trivial_plan()
+        built = build_case(plan)
+        seen = []
+
+        def verify(memory, rng=None):
+            seen.append(rng)
+
+        workload = BuiltWorkload(plan.name, built.program, built.fabric,
+                                 built.fresh_memory(), verify)
+        run_and_verify(workload, rng=1234)
+        assert isinstance(seen[0], random.Random)
+
+    def test_run_and_verify_leaves_global_rng_alone(self):
+        state = random.getstate()
+        assert run_case(_plan("rngstate"), rng=99).ok
+        assert random.getstate() == state
+
+    def test_coerce_rng(self):
+        from repro.workloads.common import coerce_rng
+
+        assert coerce_rng(None) is None
+        instance = random.Random(7)
+        assert coerce_rng(instance) is instance
+        assert coerce_rng(7).random() == coerce_rng(7).random()
+
+
+class TestCli:
+    def test_fuzz_small_batch(self, capsys):
+        assert main(["fuzz", "--count", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "3 generated" in out
+        assert "0 divergence(s)" in out
+
+    def test_fuzz_replay_corpus_case(self, capsys):
+        path = corpus_paths()[0]
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fuzz_smoke_replays_corpus(self, capsys):
+        assert main(["fuzz", "--smoke", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(corpus_paths())} corpus cases" in out
+
+    def test_fuzz_time_budget(self, capsys):
+        assert main(["fuzz", "--count", "100000", "--seed", "2",
+                     "--time-budget", "2"]) == 0
+        assert "time budget" in capsys.readouterr().out
+
+
+def test_passthrough_spec_builds_minimal_dfg():
+    spec = passthrough_dfg_spec({"A": 2, "B": 1}, {"Z": 3})
+    from repro.fuzz.generators import dfg_from_spec
+
+    dfg = dfg_from_spec(spec)
+    assert {n: p.width for n, p in dfg.inputs.items()} == {"A": 2, "B": 1}
+    assert dfg.outputs["Z"].width == 3

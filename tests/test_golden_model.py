@@ -95,3 +95,141 @@ class TestFunctionalDeadlock:
         program.barrier_all()
         with pytest.raises(FunctionalDeadlock):
             interpret_program(program, BackingStore())
+
+    def test_deadlock_message_names_blocked_ports(self):
+        """The exception must localise the bug: which command is stuck,
+        which port it waits on, and which CGRA input is starved."""
+        from repro.cgra import dnn_provisioned
+        from repro.core.compiler import schedule
+        from repro.core.dfg import parse_dfg
+        from repro.core.isa import StreamProgram
+
+        config = schedule(
+            parse_dfg("input A\ninput B\nx = add A B\noutput O x", "stuck"),
+            dnn_provisioned(),
+        )
+        program = StreamProgram("stuck", config)
+        program.mem_port(0, 8, 8, 1, "A")  # B never fed
+        program.port_mem("O", 8, 8, 1, 0x100)
+        program.barrier_all()
+        with pytest.raises(FunctionalDeadlock) as excinfo:
+            interpret_program(program, BackingStore())
+        message = str(excinfo.value)
+        # The stuck drain names the output port it is blocked on...
+        assert f"out{config.hw_output_port('O')}:r" in message
+        assert "0/1 elements" in message
+        # ...and the starvation report names the unfed input port.
+        assert f"in{config.hw_input_port('B')} (B): 0/1 words" in message
+
+
+def _passthrough_config():
+    from repro.cgra import broadly_provisioned
+    from repro.core.compiler import schedule
+    from repro.core.dfg import parse_dfg
+
+    return schedule(
+        parse_dfg("input A\nx = pass A\noutput O x", "thru"),
+        broadly_provisioned(),
+    )
+
+
+def _both_engines(program, memory):
+    """Run on the cycle simulator and the functional interpreter; return
+    (sim RunResult, interpreter store, interpreter final state)."""
+    from repro.cgra import broadly_provisioned
+    from repro.sim.softbrain import run_program
+
+    store = copy.deepcopy(memory.store)
+    result = run_program(program, fabric=broadly_provisioned(), memory=memory)
+    final = interpret_program(program, store)
+    return result, store, final
+
+
+class TestGoldenModelEdgeCases:
+    """Hand-written corner cases for the ISA features the original
+    workloads exercise only lightly (see also the generated coverage in
+    tests/test_fuzz.py)."""
+
+    def test_indirect_port_mem_roundtrip(self):
+        """Gather table[perm] into the CGRA, scatter it back through the
+        same permutation: the output region must equal the table."""
+        from repro.core.isa import StreamProgram
+        from repro.workloads.common import read_words, write_words
+
+        config = _passthrough_config()
+        n = 12
+        table = [(i * 0x9E37) & 0xFFFF_FFFF_FFFF_FFFF for i in range(n)]
+        perm = [7, 3, 11, 0, 9, 5, 1, 10, 2, 8, 4, 6]
+        table_addr, idx_addr, idx2_addr, out_addr = 0x1000, 0x2000, 0x3000, 0x4000
+
+        program = StreamProgram("ind-roundtrip", config)
+        program.mem_to_indirect(idx_addr, n, 0)
+        program.ind_port_port(0, table_addr, "A", n)
+        program.mem_to_indirect(idx2_addr, n, 1)
+        program.ind_port_mem(1, "O", out_addr, n)
+        program.barrier_all()
+
+        memory = MemorySystem()
+        write_words(memory, table_addr, table)
+        write_words(memory, idx_addr, perm)
+        write_words(memory, idx2_addr, perm)
+
+        result, store, _ = _both_engines(program, memory)
+        expected = [table[i] if i in perm else 0 for i in range(n)]
+        assert read_words(memory, out_addr, n, signed=False) == expected
+        got_interp = [store.read_word(out_addr + 8 * i) for i in range(n)]
+        assert got_interp == expected
+        assert result.stats.instances_fired == n
+
+    def test_mem_scratch_port_roundtrip(self):
+        """memory -> scratchpad -> port -> memory preserves the array, and
+        both engines leave identical scratchpad images."""
+        from repro.core.isa import StreamProgram
+        from repro.workloads.common import read_words, write_words
+
+        config = _passthrough_config()
+        n = 10
+        array = [3 * i + 1 for i in range(n)]
+        src_addr, out_addr, scratch_addr = 0x1000, 0x2000, 256
+
+        program = StreamProgram("scratch-roundtrip", config)
+        program.mem_scratch(src_addr, 8 * n, 8 * n, 1, scratch_addr)
+        program.barrier_scratch_wr()
+        program.scratch_port(scratch_addr, 8 * n, 8 * n, 1, "A")
+        program.port_mem("O", 8 * n, 8 * n, 1, out_addr)
+        program.barrier_all()
+
+        memory = MemorySystem()
+        write_words(memory, src_addr, array)
+
+        result, store, final = _both_engines(program, memory)
+        assert read_words(memory, out_addr, n) == array
+        assert [store.read_word(out_addr + 8 * i) for i in range(n)] == array
+        packed = b"".join(v.to_bytes(8, "little") for v in array)
+        window = slice(scratch_addr, scratch_addr + 8 * n)
+        assert result.scratchpad.snapshot()[window] == packed
+        assert bytes(final.scratch[window]) == packed
+
+    def test_zero_length_streams_rejected(self):
+        """The ISA has no zero-element streams: every constructor rejects
+        them at build time rather than hanging an engine."""
+        from repro.core.isa import (
+            Affine2D,
+            SDCleanPort,
+            SDConstPort,
+            SDPortPort,
+            in_port,
+            out_port,
+        )
+        from repro.core.isa.patterns import PatternError
+
+        with pytest.raises(ValueError):
+            SDConstPort(1, 0, in_port(0))
+        with pytest.raises(ValueError):
+            SDCleanPort(0, out_port(0))
+        with pytest.raises(ValueError):
+            SDPortPort(out_port(0), 0, in_port(1))
+        with pytest.raises(PatternError):
+            Affine2D(0, 8, 8, 0, 8)  # zero strides
+        with pytest.raises(PatternError):
+            Affine2D(0, 0, 8, 1, 8)  # zero-byte access

@@ -17,59 +17,15 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cgra import broadly_provisioned
 from repro.core.compiler import schedule
-from repro.core.dfg import Constant, Dfg, ValueRef
+from repro.core.dfg import Dfg, ValueRef
 from repro.core.dfg.instructions import WORD_MASK
 from repro.core.isa.patterns import Affine2D, LINE_BYTES, affine_requests
+# The random-DFG pool lives in the fuzz package now (the fuzzer and these
+# property tests share one generator); re-exported here for hypothesis use.
+from repro.fuzz.generators import RANDOM_OPS, random_dfg, random_inputs
 from repro.sim.cgra_exec import CompiledDfg
 
-#: op pool for random graphs: (mnemonic, arity)
-RANDOM_OPS = [
-    ("add", 2), ("sub", 2), ("mul", 2), ("min", 2), ("max", 2),
-    ("and", 2), ("or", 2), ("xor", 2), ("eq", 2), ("lt", 2),
-    ("abs", 1), ("neg", 1), ("pass", 1), ("select", 3), ("hadd", 1),
-]
-
-
-def random_dfg(seed: int, num_inputs: int, num_insts: int) -> Dfg:
-    """Build a random valid (connected, acyclic) DFG."""
-    rng = random.Random(seed)
-    dfg = Dfg(f"rand{seed}")
-    values = []
-    for i in range(num_inputs):
-        width = rng.randint(1, 4)
-        dfg.add_input(f"I{i}", width)
-        values.extend(ValueRef(f"I{i}", lane) for lane in range(width))
-    for n in range(num_insts):
-        name, arity = rng.choice(RANDOM_OPS)
-        operands = []
-        for _ in range(arity):
-            if rng.random() < 0.15:
-                operands.append(Constant(rng.randint(0, 1000)))
-            else:
-                operands.append(rng.choice(values))
-        lane_bits = rng.choice([64, 64, 64, 16, 32])
-        dfg.add_instruction(f"n{n}", name, operands, lane_bits)
-        values.append(ValueRef(f"n{n}"))
-    # Route every otherwise-dead instruction into the output port.
-    consumed = set()
-    for inst in dfg.instructions.values():
-        for ref in dfg.operand_refs(inst):
-            consumed.add(ref.node)
-    dead = [n for n in dfg.instructions if n not in consumed]
-    sources = [ValueRef(n) for n in dead[:8]] or [values[-1]]
-    dfg.add_output("O", sources)
-    remaining = [ValueRef(n) for n in dead[8:]]
-    for i in range(0, len(remaining), 8):
-        dfg.add_output(f"O{i}", remaining[i : i + 8])
-    return dfg
-
-
-def random_inputs(dfg: Dfg, seed: int):
-    rng = random.Random(seed * 31 + 7)
-    return {
-        name: [rng.randint(0, WORD_MASK) for _ in range(port.width)]
-        for name, port in dfg.inputs.items()
-    }
+__all__ = ["RANDOM_OPS", "random_dfg", "random_inputs"]
 
 
 class TestCompiledEquivalence:
