@@ -13,6 +13,9 @@ Usage::
     python -m repro fuzz --count 200 --seed 0 # differential fuzzing
     python -m repro fuzz --replay case.json   # replay a saved fuzz case
     python -m repro fuzz --smoke              # corpus replay + quick batch
+    python -m repro fuzz --faults             # fuzz under injected faults
+    python -m repro faults                    # fault-injection campaign
+    python -m repro faults --show dump.json   # pretty-print a crash dump
 
 ``run`` and ``timeline`` also accept ``--trace-out PATH`` to record a
 trace alongside their normal output (``.jsonl`` = JSON Lines, anything
@@ -155,6 +158,12 @@ def _cmd_fuzz(args) -> int:
     return cmd_fuzz(args)
 
 
+def _cmd_faults(args) -> int:
+    from .resilience.cli import cmd_faults
+
+    return cmd_faults(args)
+
+
 def _cmd_table(name: str) -> int:
     from . import experiments as exp
 
@@ -243,6 +252,13 @@ def main(argv=None) -> int:
                              help="where shrunk repro cases are written")
     fuzz_parser.add_argument("--no-shrink", action="store_true",
                              help="save diverging cases without minimising")
+    fuzz_parser.add_argument("--faults", action="store_true",
+                             help="run each case under a random fault plan; "
+                                  "divergence = fault escaped undiagnosed "
+                                  "(see docs/RESILIENCE.md)")
+
+    from .resilience.cli import add_faults_parser
+    add_faults_parser(sub)
 
     for table in ("table1", "table3", "table4",
                   "fig11", "fig12", "fig13", "fig14", "fig15"):
@@ -259,6 +275,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return _cmd_table(args.command)
 
 

@@ -8,6 +8,12 @@ Modes:
 * ``--replay case.json`` — re-run one saved case and report its verdict;
 * ``--smoke`` — replay every checked-in corpus case plus a small random
   batch; sized for a sub-minute CI job.
+* ``--faults`` — run each random case under a random fault plan
+  (``repro.resilience``).  A case only counts as a failure when a fault
+  *escapes the diagnostics*: a non-SimError crash, or a SimError without
+  an attached :class:`~repro.resilience.FailureReport`.  Oracle-flagged
+  wrong results and diagnosed SimErrors are the expected, correct
+  outcomes under injection.
 
 Exit status is non-zero iff any divergence was observed.
 """
@@ -41,6 +47,36 @@ def _check_rng(seed: int, tag: str) -> random.Random:
     # Injected into run_and_verify so mismatch sampling never touches the
     # module-level random state (see workloads.common.coerce_rng).
     return random.Random(f"verify:{seed}:{tag}")
+
+
+def _fault_plan(seed: int, index: int):
+    from ..resilience import FaultPlan
+
+    return FaultPlan.random(f"fuzz:{seed}:{index}", count=2)
+
+
+def _faulted_run_case(plan, fault_plan, rng=None):
+    # Fresh injector per run: FaultInjector consumes its pending specs, so
+    # reruns (shrinking, replays) must not see a drained plan.
+    from ..resilience import FaultInjector, FaultPlan
+    from ..sim.softbrain import SoftbrainParams
+
+    injector = FaultInjector(FaultPlan.from_dict(fault_plan.to_dict()))
+    params = SoftbrainParams(max_cycles=300_000)
+    return run_case(plan, rng=rng, faults=injector, params=params)
+
+
+def _fault_escapes(report) -> List[str]:
+    """Divergences meaning the diagnostics layer failed, not the program."""
+    escapes = []
+    for divergence in report.divergences:
+        if divergence.kind == "sim-crash":
+            escapes.append(f"unstructured crash: {divergence.detail}")
+        elif divergence.kind in ("sim-error", "sim-deadlock"):
+            if getattr(divergence.exception, "report", None) is None:
+                escapes.append(
+                    f"SimError without crash dump: {divergence.detail}")
+    return escapes
 
 
 def _replay(path: pathlib.Path, seed: int) -> int:
@@ -88,19 +124,39 @@ def cmd_fuzz(args) -> int:
             break
         name = f"fuzz-{args.seed}-{index}"
         plan = random_plan(random.Random(f"{args.seed}:{index}"), name=name)
-        report = run_case(plan, rng=_check_rng(args.seed, str(index)))
-        ran += 1
-        if report.ok:
-            continue
-        failures += 1
-        print(f"{name}: DIVERGED")
-        for divergence in report.divergences:
-            print(f"  {divergence}")
-        if not args.no_shrink:
-            plan = shrink(
-                plan, lambda p: bool(run_case(p).divergences))
-            print(f"  shrunk to {plan_to_json(plan).count(chr(10))} lines, "
-                  f"{build_num_commands(plan)} commands")
+        rng = _check_rng(args.seed, str(index))
+        if getattr(args, "faults", False):
+            fault_plan = _fault_plan(args.seed, index)
+            report = _faulted_run_case(plan, fault_plan, rng=rng)
+            ran += 1
+            escapes = _fault_escapes(report)
+            if not escapes:
+                continue
+            failures += 1
+            print(f"{name}: FAULT ESCAPED DIAGNOSTICS "
+                  f"(plan {[s.to_dict() for s in fault_plan.specs]})")
+            for escape in escapes:
+                print(f"  {escape}")
+            if not args.no_shrink:
+                plan = shrink(
+                    plan,
+                    lambda p: bool(_fault_escapes(
+                        _faulted_run_case(p, fault_plan))))
+                print(f"  shrunk to {build_num_commands(plan)} commands")
+        else:
+            report = run_case(plan, rng=rng)
+            ran += 1
+            if report.ok:
+                continue
+            failures += 1
+            print(f"{name}: DIVERGED")
+            for divergence in report.divergences:
+                print(f"  {divergence}")
+            if not args.no_shrink:
+                plan = shrink(
+                    plan, lambda p: bool(run_case(p).divergences))
+                print(f"  shrunk to {plan_to_json(plan).count(chr(10))} lines, "
+                      f"{build_num_commands(plan)} commands")
         save_dir.mkdir(parents=True, exist_ok=True)
         case_path = save_dir / f"{name}.json"
         case_path.write_text(plan_to_json(plan))

@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.isa.interpreter import FunctionalDeadlock, interpret_program
+from ..sim.errors import SimError, SimulationDeadlock, SimulationLimit
 from ..sim.memory import BackingStore
-from ..sim.softbrain import SimulationDeadlock, SimulationLimit
+from ..sim.softbrain import SoftbrainParams
 from ..workloads.common import BuiltWorkload, VerificationError, run_and_verify
 from .case import (
     SCRATCH_CAPACITY,
@@ -54,6 +55,10 @@ class Divergence:
 
     kind: str  # e.g. "sim-memory", "interp-deadlock"
     detail: str
+    #: the raising exception, when the divergence was an exception (the
+    #: campaign inspects ``exception.report`` for the crash dump)
+    exception: Optional[BaseException] = field(default=None, compare=False,
+                                               repr=False)
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.detail}"
@@ -63,6 +68,9 @@ class Divergence:
 class OracleReport:
     plan: CasePlan
     divergences: List[Divergence] = field(default_factory=list)
+    #: cycles the simulator leg ran (0 when it crashed) — the fault
+    #: campaign uses this to aim fault cycles inside the run window
+    sim_cycles: int = 0
 
     @property
     def ok(self) -> bool:
@@ -195,8 +203,16 @@ def diff_stores(got: BackingStore, want: BackingStore,
 
 
 def run_case(plan: CasePlan,
-             rng: Optional[random.Random] = None) -> OracleReport:
-    """Run one plan through all three implementations and compare."""
+             rng: Optional[random.Random] = None,
+             faults=None,
+             params: Optional[SoftbrainParams] = None) -> OracleReport:
+    """Run one plan through all three implementations and compare.
+
+    ``faults`` (a :class:`repro.resilience.FaultInjector`) and ``params``
+    apply to the cycle-level leg only; the interpreter and the pure
+    evaluation always run fault-free, so under injection they serve as the
+    reference against which a fault's effect is classified.
+    """
     built = build_case(plan)
     expected = evaluate_case(built)
     report = OracleReport(plan)
@@ -212,15 +228,24 @@ def run_case(plan: CasePlan,
     workload = BuiltWorkload(plan.name, built.program, built.fabric,
                              built.fresh_memory(), verify)
     try:
-        result = run_and_verify(workload, rng=rng)
+        result = run_and_verify(workload, rng=rng, faults=faults,
+                                params=params)
     except VerificationError as exc:
-        report.divergences.append(Divergence("sim-memory", str(exc)))
+        report.divergences.append(Divergence("sim-memory", str(exc),
+                                             exception=exc))
     except (SimulationDeadlock, SimulationLimit) as exc:
-        report.divergences.append(Divergence("sim-deadlock", str(exc)))
-    except Exception as exc:  # port overflow, scratch bounds, ...
+        report.divergences.append(Divergence("sim-deadlock", str(exc),
+                                             exception=exc))
+    except SimError as exc:  # structured port/scratch/command failures
         report.divergences.append(
-            Divergence("sim-crash", f"{type(exc).__name__}: {exc}"))
+            Divergence("sim-error", f"{type(exc).__name__}: {exc}",
+                       exception=exc))
+    except Exception as exc:  # anything unstructured is a diagnostics bug
+        report.divergences.append(
+            Divergence("sim-crash", f"{type(exc).__name__}: {exc}",
+                       exception=exc))
     else:
+        report.sim_cycles = result.stats.cycles
         if result.scratchpad.snapshot() != bytes(expected.scratch):
             report.divergences.append(
                 Divergence("sim-scratch", _scratch_diff(

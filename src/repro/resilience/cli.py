@@ -1,0 +1,111 @@
+"""The ``python -m repro faults`` entry point.
+
+Modes:
+
+* default — run a fault campaign (:func:`repro.resilience.run_campaign`)
+  over ``--classes`` x ``--seeds`` x ``--cases`` and report whether every
+  injected fault was detected-and-diagnosed or oracle-verified benign;
+* ``--smoke`` — the short CI configuration (3 seeds, 1 case each, with
+  the determinism check on);
+* ``--show dump.json`` — pretty-print a saved JSON crash dump.
+
+Exit status is non-zero iff any fault produced an unstructured crash, an
+undiagnosed SimError, or a non-reproducible outcome.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from .campaign import DEFAULT_MAX_CYCLES, run_campaign
+from .faults import FAULT_KINDS
+from .report import FailureReport
+
+
+def _show(path: str) -> int:
+    try:
+        report = FailureReport.from_json(pathlib.Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read dump: {exc}")
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {path} is not a failure report: {exc}")
+    print(f"{path}: {report.kind} in {report.program!r} "
+          f"at cycle {report.cycle}")
+    print(report.render())
+    graph = report.wait_graph
+    if graph.get("edges"):
+        print(f"wait-for graph: {len(graph.get('nodes', {}))} nodes, "
+              f"{len(graph['edges'])} edges")
+    return 0
+
+
+def _parse_classes(text: str):
+    classes = tuple(c.strip() for c in text.split(",") if c.strip())
+    unknown = [c for c in classes if c not in FAULT_KINDS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown fault class(es) {unknown}; "
+            f"choose from {', '.join(FAULT_KINDS)}")
+    return classes
+
+
+def cmd_faults(args) -> int:
+    if args.show:
+        return _show(args.show)
+
+    classes = _parse_classes(args.classes) if args.classes else FAULT_KINDS
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    cases = args.cases
+    check_determinism = args.check_determinism
+    if args.smoke:
+        cases = min(cases, 1)
+        check_determinism = True
+
+    started = time.time()
+    result = run_campaign(
+        classes=classes,
+        seeds=seeds,
+        cases_per_seed=cases,
+        max_cycles=args.max_cycles,
+        dump_dir=args.dump_dir,
+        check_determinism=check_determinism,
+        progress=print,
+    )
+    wall = time.time() - started
+    print(result.summary() + f" in {wall:.1f}s")
+    for outcome in result.failures:
+        print(f"  FAILURE {outcome.case} {outcome.fault_kind}: "
+              f"{outcome.classification} — {outcome.detail}")
+    if args.dump_dir:
+        dumps = [o.dump for o in result.outcomes if o.dump]
+        print(f"{len(dumps)} crash dump(s) under {args.dump_dir}")
+    return 0 if result.ok else 1
+
+
+def add_faults_parser(sub) -> None:
+    """Register the ``faults`` subcommand on an argparse subparsers."""
+    parser = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: every fault detected+diagnosed or "
+             "oracle-verified benign (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument("--classes", default=None,
+                        help="comma-separated fault classes "
+                             f"(default: all of {','.join(FAULT_KINDS)})")
+    parser.add_argument("--seeds", default="0,1,2",
+                        help="comma-separated campaign seeds")
+    parser.add_argument("--cases", type=int, default=2,
+                        help="random programs per seed")
+    parser.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES,
+                        help="cycle ceiling for faulted runs")
+    parser.add_argument("--dump-dir", default=None, metavar="DIR",
+                        help="write JSON crash dumps of detected faults here")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="re-run every faulted case and require an "
+                             "identical outcome and crash dump")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI configuration (1 case per seed, "
+                             "determinism check on)")
+    parser.add_argument("--show", metavar="DUMP_JSON",
+                        help="pretty-print a saved crash dump and exit")

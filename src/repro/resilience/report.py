@@ -1,0 +1,299 @@
+"""Structured failure reports: the JSON crash dump of a dead simulation.
+
+Every :class:`~repro.sim.errors.SimError` that escapes
+:meth:`SoftbrainSim.run` (or the multi-unit loop) is annotated with a
+:class:`FailureReport` on ``exc.report``: the failing cycle, the hang
+watchdog's wait-for graph with root-cause chains, a per-component state
+snapshot, the last-N trace events (when the run was traced through a sink
+with a ``tail_events`` method, e.g. :class:`repro.trace.RingSink`), and
+the record of injected faults.  Reports are deterministic — no wall-clock
+timestamps, sorted JSON keys — so the same seed reproduces a byte-identical
+dump, which the fault campaign asserts.
+
+:class:`ResiliencePolicy` / :func:`run_resilient` implement the degradation
+policy around a failing run: ``abort`` (re-raise, default), ``retry``
+(re-run from the program-start checkpoint up to ``max_retries`` times) or
+``continue`` (record the failure and carry on with a flagged outcome).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .watchdog import build_wait_graph
+
+#: schema version of the JSON dump
+REPORT_VERSION = 1
+
+
+@dataclass
+class FailureReport:
+    """One structured crash dump (see ``docs/RESILIENCE.md`` for schema)."""
+
+    kind: str  #: SimError.kind, e.g. "deadlock", "limit"
+    program: str
+    cycle: int
+    message: str
+    chains: List[str] = field(default_factory=list)
+    wait_graph: Dict[str, Any] = field(default_factory=dict)
+    components: Dict[str, Any] = field(default_factory=dict)
+    trace_tail: List[Dict[str, Any]] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    version: int = REPORT_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "program": self.program,
+            "cycle": self.cycle,
+            "message": self.message,
+            "chains": list(self.chains),
+            "wait_graph": self.wait_graph,
+            "components": self.components,
+            "trace_tail": list(self.trace_tail),
+            "faults": list(self.faults),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureReport":
+        return cls(
+            kind=data["kind"], program=data["program"],
+            cycle=data["cycle"], message=data["message"],
+            chains=list(data.get("chains", [])),
+            wait_graph=data.get("wait_graph", {}),
+            components=data.get("components", {}),
+            trace_tail=list(data.get("trace_tail", [])),
+            faults=list(data.get("faults", [])),
+            version=data.get("version", REPORT_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as stream:
+            stream.write(self.to_json())
+            stream.write("\n")
+        return path
+
+    def render(self) -> str:
+        """Compact human-readable form appended to the exception message."""
+        lines = [f"-- failure report ({self.kind}, cycle {self.cycle}) --"]
+        if self.chains:
+            lines.append("root-cause chains:")
+            lines.extend(f"  {chain}" for chain in self.chains)
+        if self.faults:
+            lines.append("injected faults fired:")
+            lines.extend(
+                f"  {f['kind']} @ cycle {f['fired_at']} on {f['target']}: "
+                f"{f['detail']}"
+                for f in self.faults
+            )
+        queue = self.components.get("dispatcher", {}).get("queue", [])
+        if queue:
+            lines.append(f"dispatcher queue ({len(queue)}): "
+                         + ", ".join(queue[:6])
+                         + (" ..." if len(queue) > 6 else ""))
+        if self.trace_tail:
+            lines.append(f"trace tail: {len(self.trace_tail)} events "
+                         f"retained (see JSON dump)")
+        return "\n".join(lines)
+
+
+def snapshot_components(sim) -> Dict[str, Any]:
+    """Deterministic per-component state snapshot of one unit."""
+    engines = {}
+    for name in sorted(sim.engines):
+        engine = sim.engines[name]
+        engines[name] = [
+            {
+                "command": s.trace.label,
+                "index": s.trace.index,
+                "elements_left": s.elements_left,
+                "pending_deliveries": len(s.pending),
+                "issued_all": s.issued_all,
+            }
+            for s in engine.streams
+        ]
+    ports: Dict[str, Any] = {}
+    for pool in (sim.input_ports, sim.output_ports, sim.indirect_ports):
+        for state in pool.values():
+            if state.occupancy or state.reserved:
+                name = f"{state.spec.direction}{state.spec.port_id}"
+                ports[name] = {"occupancy": state.occupancy,
+                               "reserved": state.reserved}
+    cgra: Optional[Dict[str, Any]] = None
+    if sim.cgra is not None:
+        ok, why = sim.cgra.can_fire()
+        cgra = {"in_flight": sim.cgra.in_flight,
+                "can_fire": ok, "blocked_on": why}
+    stats = sim.memory.stats
+    return {
+        "core": {
+            "pc": sim.core.pc,
+            "finished": sim.core.finished,
+            "stall_cycles": sim.core.stall_cycles,
+        },
+        "dispatcher": {
+            "queue": [f"{t.label} #{t.index}" for t in sim.dispatcher.queue],
+            "busy_ports": {
+                f"{kind}{pid}:{role}": count
+                for (kind, pid, role), count in sorted(
+                    sim.dispatcher.busy_ports.items())
+            },
+        },
+        "engines": engines,
+        "ports": dict(sorted(ports.items())),
+        "cgra": cgra,
+        "outstanding": dict(sim.outstanding),
+        "memory": {
+            "reads": stats.reads, "writes": stats.writes,
+            "hits": stats.hits, "misses": stats.misses,
+        },
+    }
+
+
+def _trace_tail(sim) -> List[Dict[str, Any]]:
+    tail = getattr(sim.trace, "tail_events", None)
+    if tail is None:
+        return []
+    return [event.to_json_dict() for event in tail()]
+
+
+def build_failure_report(sim, exc) -> FailureReport:
+    """Crash dump for one failing unit (called from ``SoftbrainSim._fail``)."""
+    graph = build_wait_graph(sim)
+    return FailureReport(
+        kind=getattr(exc, "kind", "error"),
+        program=sim.program.name,
+        cycle=exc.cycle if exc.cycle is not None else sim.cycle,
+        message=str(exc.args[0]) if exc.args else type(exc).__name__,
+        chains=graph.chains(),
+        wait_graph=graph.to_dict(),
+        components=snapshot_components(sim),
+        trace_tail=_trace_tail(sim),
+        faults=list(sim.faults.fired) if sim.faults is not None else [],
+    )
+
+
+def build_multi_unit_report(sims, exc) -> FailureReport:
+    """Aggregated crash dump across the stuck units of a multi-unit run."""
+    chains: List[str] = []
+    nodes: Dict[str, Any] = {}
+    edges: List[Dict[str, str]] = []
+    components: Dict[str, Any] = {}
+    faults: List[Dict[str, Any]] = []
+    tail: List[Dict[str, Any]] = []
+    for sim in sims:
+        prefix = f"u{sim.unit}"
+        graph = build_wait_graph(sim)
+        chains.extend(f"[unit {sim.unit}] {c}" for c in graph.chains())
+        graph_dict = graph.to_dict()
+        for nid, info in graph_dict["nodes"].items():
+            nodes[f"{prefix}:{nid}"] = info
+        edges.extend(
+            {"src": f"{prefix}:{e['src']}", "dst": f"{prefix}:{e['dst']}",
+             "reason": e["reason"]}
+            for e in graph_dict["edges"]
+        )
+        components[f"unit{sim.unit}"] = snapshot_components(sim)
+        if sim.faults is not None:
+            faults.extend(dict(f, unit=sim.unit) for f in sim.faults.fired)
+        if not tail:
+            tail = _trace_tail(sim)  # units usually share one sink
+    return FailureReport(
+        kind=getattr(exc, "kind", "error"),
+        program=exc.program_name or "multi-unit",
+        cycle=exc.cycle if exc.cycle is not None else 0,
+        message=str(exc.args[0]) if exc.args else type(exc).__name__,
+        chains=chains,
+        wait_graph={"nodes": nodes, "edges": edges},
+        components=components,
+        trace_tail=tail,
+        faults=faults,
+    )
+
+
+# -- degradation policy ------------------------------------------------------
+
+
+@dataclass
+class ResiliencePolicy:
+    """What to do when a run raises a :class:`SimError`.
+
+    ``abort``: re-raise (the default, and what plain ``run_program`` does
+    anyway).  ``retry``: re-run from the program-start checkpoint up to
+    ``max_retries`` more times — meaningful when faults are transient
+    (injected or environmental), pointless for deterministic bugs.
+    ``continue``: swallow the failure and return a flagged outcome so a
+    campaign can keep sweeping.  With ``dump_dir`` set, every failure's
+    JSON crash dump is written there.
+    """
+
+    mode: str = "abort"  # "abort" | "retry" | "continue"
+    max_retries: int = 1
+    dump_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("abort", "retry", "continue"):
+            raise ValueError(f"unknown resilience mode {self.mode!r}")
+
+
+@dataclass
+class ResilientOutcome:
+    """Result of :func:`run_resilient`."""
+
+    result: Any  #: the run's return value, or None if every attempt failed
+    failures: List[BaseException] = field(default_factory=list)
+    attempts: int = 0
+    dumps: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None and not self.failures
+
+    @property
+    def flagged(self) -> bool:
+        """True when a failure was tolerated (policy != abort)."""
+        return bool(self.failures)
+
+
+def run_resilient(run: Callable[[], Any],
+                  policy: Optional[ResiliencePolicy] = None
+                  ) -> ResilientOutcome:
+    """Invoke ``run()`` under a degradation policy.
+
+    ``run`` must be restartable from scratch (build a fresh sim per call);
+    the program-start state *is* the checkpoint the ``retry`` mode resumes
+    from.
+    """
+    from ..sim.errors import SimError
+
+    policy = policy or ResiliencePolicy()
+    outcome = ResilientOutcome(result=None)
+    attempts = 1 + (policy.max_retries if policy.mode == "retry" else 0)
+    for attempt in range(attempts):
+        outcome.attempts = attempt + 1
+        try:
+            outcome.result = run()
+            return outcome
+        except SimError as exc:
+            outcome.failures.append(exc)
+            if policy.dump_dir and exc.report is not None:
+                os.makedirs(policy.dump_dir, exist_ok=True)
+                path = os.path.join(
+                    policy.dump_dir,
+                    f"{exc.report.program}-{exc.report.kind}"
+                    f"-a{attempt}.json")
+                outcome.dumps.append(exc.report.save(path))
+            if policy.mode == "abort":
+                raise
+    return outcome

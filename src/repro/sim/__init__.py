@@ -3,18 +3,32 @@
 Observability: every component accepts a :class:`repro.trace.TraceSink`
 (via ``run_program(..., trace=...)`` / ``run_multi_unit(..., trace=...)``)
 and emits the structured events documented in ``docs/TRACING.md``.
+
+Failure model: every simulator failure derives from
+:class:`~repro.sim.errors.SimError` and carries ``program_name``,
+``cycle`` and (when raised through the run loop) a structured
+``report`` crash dump; see ``docs/RESILIENCE.md``.
 """
 
 from .cgra_exec import CgraExecutor, CompiledDfg
 from .control_core import ControlCore
 from .dispatcher import COMMAND_QUEUE_DEPTH, Dispatcher
-from .memory import BackingStore, MemoryParams, MemoryStats, MemorySystem
-from .multi_unit import MultiUnitResult, run_multi_unit
-from .scratchpad import Scratchpad, ScratchpadError, ScratchpadStats
-from .softbrain import (
-    RunResult,
+from .errors import (
+    ConfigError,
+    IllegalCommandError,
+    MemoryProtocolError,
+    PortRuntimeError,
+    ScratchpadError,
+    SimError,
     SimulationDeadlock,
     SimulationLimit,
+    StreamTableError,
+)
+from .memory import BackingStore, MemoryParams, MemoryStats, MemorySystem
+from .multi_unit import MultiUnitResult, run_multi_unit
+from .scratchpad import Scratchpad, ScratchpadStats
+from .softbrain import (
+    RunResult,
     SoftbrainParams,
     SoftbrainSim,
     run_program,
@@ -38,11 +52,14 @@ __all__ = [
     "CgraExecutor",
     "CommandTrace",
     "CompiledDfg",
+    "ConfigError",
     "ControlCore",
     "Dispatcher",
+    "IllegalCommandError",
     "MemReadEngine",
     "MemWriteEngine",
     "MemoryParams",
+    "MemoryProtocolError",
     "MemoryStats",
     "MemorySystem",
     "MultiUnitResult",
@@ -53,12 +70,14 @@ __all__ = [
     "Scratchpad",
     "ScratchpadError",
     "ScratchpadStats",
+    "SimError",
     "SimStats",
     "SimulationDeadlock",
     "SimulationLimit",
     "SoftbrainParams",
     "SoftbrainSim",
     "StreamEngineBase",
+    "StreamTableError",
     "Timeline",
     "VectorPortState",
     "WORDS_PER_CYCLE",

@@ -169,6 +169,9 @@ class CgraExecutor:
             name: port.pop_words(width) for name, width, port in self.inputs
         }
         results = self.compiled.run(inputs, self.state)
+        injector = self.sim.faults
+        if injector is not None and cycle >= injector.cgra_at:
+            injector.flip_cgra_output(cycle, results)
         for name, width, port in self.outputs:
             port.reserve(width)
         self.in_flight += 1

@@ -55,6 +55,11 @@ class ControlCore:
         if not self.sim.dispatcher.can_enqueue():
             self.stall_cycles += 1
             return False
+        injector = self.sim.faults
+        if injector is not None and self.pc >= injector.cmd_at:
+            # cmd.illegal faults mangle the encoded command word here, at
+            # the core/dispatcher boundary (may raise IllegalCommandError)
+            item = injector.mangle_command(self.pc, item)
         self.instructions_executed += 1
         self.sim.dispatcher.enqueue(item, cycle)
         self.pc += 1

@@ -17,7 +17,7 @@ it is anywhere in the queue.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Set, Tuple
+from typing import Deque, Dict, Optional, Set, Tuple
 
 from ..core.isa.commands import (
     Command,
@@ -59,9 +59,13 @@ class Dispatcher:
             isinstance(t.command, SDBarrierAll) for t in self.queue
         )
 
-    def enqueue(self, command: Command, cycle: int) -> CommandTrace:
+    def enqueue(self, command: Command, cycle: int) -> Optional[CommandTrace]:
+        """Enqueue ``command``; returns ``None`` when the queue is not
+        ready this cycle (full, or an ``SD_Barrier_All`` is queued) — the
+        core must hold the command and retry, exactly as the hardware
+        stalls the issue stage."""
         if not self.can_enqueue():
-            raise RuntimeError("dispatcher queue not ready (core should stall)")
+            return None
         trace = self.sim.timeline.note_enqueue(command, cycle)
         self.queue.append(trace)
         sink = self.sim.trace

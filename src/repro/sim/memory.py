@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from ..core.isa.patterns import LINE_BYTES
 from ..trace import NULL_SINK, SHARED_UNIT, TraceEvent, TraceSink
+from .errors import MemoryProtocolError
 
 _PAGE_BITS = 12
 _PAGE_BYTES = 1 << _PAGE_BITS
@@ -131,6 +132,8 @@ class MemorySystem:
         self._dram_free_at: int = 0
         self.trace: TraceSink = NULL_SINK
         self._trace_unit = SHARED_UNIT
+        #: optional fault injector (``mem.delay`` faults); None = no cost
+        self._faults = None
 
     def attach_trace(self, sink: TraceSink, unit: int = SHARED_UNIT) -> None:
         """Emit one ``mem.access`` event per accepted line request.
@@ -140,6 +143,11 @@ class MemorySystem:
         """
         self.trace = sink
         self._trace_unit = unit
+
+    def attach_faults(self, injector) -> None:
+        """Let a :class:`repro.resilience.FaultInjector` stretch response
+        latencies (``mem.delay`` faults)."""
+        self._faults = injector
 
     # -- functional -----------------------------------------------------------
 
@@ -174,7 +182,9 @@ class MemorySystem:
     def issue(self, cycle: int, line_addr: int, is_write: bool, nbytes: int) -> int:
         """Issue one line request; returns the data-ready cycle."""
         if not self.can_accept(cycle):
-            raise RuntimeError("memory interface over-subscribed this cycle")
+            raise MemoryProtocolError(
+                "memory interface over-subscribed this cycle"
+            )
         self._note_accept(cycle)
         hit = self._touch_line(line_addr)
         if is_write:
@@ -191,6 +201,8 @@ class MemorySystem:
             start = max(cycle, self._dram_free_at)
             self._dram_free_at = start + self.params.dram_gap_cycles
             ready = start + self.params.dram_latency
+        if self._faults is not None and cycle >= self._faults.mem_delay_at:
+            ready += self._faults.mem_delay(cycle, line_addr, is_write)
         if self.trace.enabled:
             self.trace.emit(TraceEvent(
                 "mem.access", cycle, self._trace_unit, "memory",

@@ -18,14 +18,9 @@ from typing import List, Optional
 
 from ..core.isa.program import StreamProgram
 from ..trace import TraceSink
+from .errors import SimError, SimulationDeadlock, SimulationLimit
 from .memory import MemorySystem
-from .softbrain import (
-    RunResult,
-    SimulationDeadlock,
-    SimulationLimit,
-    SoftbrainParams,
-    SoftbrainSim,
-)
+from .softbrain import RunResult, SoftbrainParams, SoftbrainSim
 
 
 @dataclass
@@ -82,8 +77,11 @@ def run_multi_unit(
         for index, sim in enumerate(sims):
             if done[index]:
                 continue
-            if sim.step(cycle):
-                progress = True
+            try:
+                if sim.step(cycle):
+                    progress = True
+            except SimError as exc:
+                raise sim._fail(exc) from None
             if sim.finished():
                 done[index] = True
                 finish_cycle[index] = cycle
@@ -98,17 +96,42 @@ def run_multi_unit(
             if next_events:
                 cycle = max(cycle + 1, min(next_events))
                 continue
-            reports = "\n".join(
-                sim._deadlock_report(cycle)
-                for index, sim in enumerate(sims)
-                if not done[index]
-            )
-            raise SimulationDeadlock(f"multi-unit deadlock:\n{reports}")
+            stuck = [s for i, s in enumerate(sims) if not done[i]]
+            raise _fail_multi(
+                stuck,
+                SimulationDeadlock(
+                    f"multi-unit deadlock at cycle {cycle}: "
+                    f"{len(stuck)} of {len(sims)} units stuck"
+                ),
+                cycle,
+            ) from None
         cycle += 1
         if cycle > params.max_cycles:
-            raise SimulationLimit(f"multi-unit run exceeded {params.max_cycles}")
+            stuck = [s for i, s in enumerate(sims) if not done[i]]
+            raise _fail_multi(
+                stuck,
+                SimulationLimit(
+                    f"multi-unit run exceeded {params.max_cycles} cycles"
+                ),
+                cycle,
+            ) from None
 
     results = [
         sim.finalize(finish_cycle[index]) for index, sim in enumerate(sims)
     ]
     return MultiUnitResult(results, max(finish_cycle), memory)
+
+
+def _fail_multi(stuck: List[SoftbrainSim], exc: SimError,
+                cycle: int) -> SimError:
+    """Attach an aggregated crash dump covering every stuck unit."""
+    from ..resilience.report import build_multi_unit_report
+
+    exc.cycle = cycle
+    exc.program_name = "+".join(sim.program.name for sim in stuck)
+    for sim in stuck:
+        sim.cycle = cycle
+    exc.report = build_multi_unit_report(stuck, exc)
+    message = exc.args[0] if exc.args else type(exc).__name__
+    exc.args = (f"{message}\n{exc.report.render()}",)
+    return exc

@@ -13,10 +13,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..trace import NULL_SINK, TraceEvent, TraceSink
+from .errors import ScratchpadError
 
-
-class ScratchpadError(ValueError):
-    """Out-of-range scratchpad access (the address space is private)."""
+__all__ = ["Scratchpad", "ScratchpadError", "ScratchpadStats"]
 
 
 @dataclass

@@ -11,8 +11,17 @@ The main loop is cycle-stepped with event-driven fast-forward: when no
 component can make progress in a cycle, the clock jumps to the next pending
 event (memory completion, CGRA pipeline exit).  A cycle with no progress
 *and* no pending events is a deadlock and raises
-:class:`SimulationDeadlock` with a component dump — the situation the
-paper's balance unit and buffering rules exist to prevent.
+:class:`SimulationDeadlock` — the situation the paper's balance unit and
+buffering rules exist to prevent.  Every :class:`~repro.sim.errors.SimError`
+escaping :meth:`SoftbrainSim.run` carries a structured
+:class:`repro.resilience.FailureReport` (wait-for graph with root-cause
+chains, per-component snapshots, trace tail) on ``exc.report``; see
+``docs/RESILIENCE.md``.
+
+Fault injection: pass a :class:`repro.resilience.FaultInjector` as
+``faults`` and the thin hooks in the memory system, stream engines, CGRA
+executor and control core inject the planned faults.  Zero-fault runs pay
+one ``is None`` test per hook site.
 
 Observability: pass a :class:`repro.trace.TraceSink` as ``trace`` and
 every component emits structured :class:`repro.trace.TraceEvent` records
@@ -46,6 +55,7 @@ from ..trace import NULL_SINK, TraceEvent, TraceSink
 from .cgra_exec import CgraExecutor
 from .control_core import ControlCore
 from .dispatcher import Dispatcher
+from .errors import ConfigError, SimError, SimulationDeadlock, SimulationLimit
 from .memory import MemorySystem
 from .scratchpad import Scratchpad
 from .stats import SimStats, Timeline
@@ -57,14 +67,6 @@ from .stream_engine import (
     ScratchEngine,
     StreamEngineBase,
 )
-
-
-class SimulationDeadlock(RuntimeError):
-    """No component can progress and no events are pending."""
-
-
-class SimulationLimit(RuntimeError):
-    """The cycle budget was exhausted before the program finished."""
 
 
 @dataclass
@@ -111,6 +113,7 @@ class SoftbrainSim:
         params: Optional[SoftbrainParams] = None,
         trace: Optional[TraceSink] = None,
         unit_id: int = 0,
+        faults: Optional["FaultInjector"] = None,  # noqa: F821
     ) -> None:
         self.program = program
         self.fabric = fabric or dnn_provisioned()
@@ -155,6 +158,12 @@ class SoftbrainSim:
         self.cgra: Optional[CgraExecutor] = None
         self.config_pending = False
         self.outstanding: Dict[str, int] = {"scratch_rd": 0, "scratch_wr": 0}
+
+        #: optional fault injector; every hook site tests ``is None`` only
+        self.faults = faults
+        if faults is not None:
+            faults.attach(self)
+            self.memory.attach_faults(faults)
 
         self._events: List = []  # heap of (cycle, seq, fn-or-None)
         self._event_seq = 0
@@ -207,13 +216,13 @@ class SoftbrainSim:
     def apply_config(self, address: int) -> None:
         image = self.program.config_images.get(address)
         if image is None:
-            raise RuntimeError(f"no configuration image at 0x{address:x}")
+            raise ConfigError(f"no configuration image at 0x{address:x}")
         if (
             image.fabric.name != self.fabric.name
             or image.fabric.mesh.cols != self.fabric.mesh.cols
             or image.fabric.mesh.rows != self.fabric.mesh.rows
         ):
-            raise RuntimeError(
+            raise ConfigError(
                 f"config {image.dfg.name!r} was scheduled for fabric "
                 f"{image.fabric.name!r}, unit has {self.fabric.name!r}"
             )
@@ -304,6 +313,12 @@ class SoftbrainSim:
         return RunResult(self.stats, self.timeline, self.memory, self.scratchpad)
 
     def run(self) -> RunResult:
+        try:
+            return self._run_loop()
+        except SimError as exc:
+            raise self._fail(exc) from None
+
+    def _run_loop(self) -> RunResult:
         cycle = 0
         while True:
             progress = self.step(cycle)
@@ -311,42 +326,39 @@ class SoftbrainSim:
                 break
             if not progress:
                 next_event = self.next_event_cycle()
-                if next_event is not None:
-                    cycle = max(cycle + 1, next_event)
-                    continue
-                raise SimulationDeadlock(self._deadlock_report(cycle))
-            cycle += 1
+                if next_event is None:
+                    raise SimulationDeadlock(
+                        f"deadlock at cycle {cycle} in program "
+                        f"{self.program.name!r}"
+                    )
+                cycle = max(cycle + 1, next_event)
+            else:
+                cycle += 1
             if cycle > self.params.max_cycles:
+                self.cycle = cycle
                 raise SimulationLimit(
                     f"exceeded {self.params.max_cycles} cycles in "
                     f"{self.program.name!r}"
                 )
         return self.finalize(cycle)
 
-    def _deadlock_report(self, cycle: int) -> str:
-        lines = [f"deadlock at cycle {cycle} in program {self.program.name!r}:"]
-        lines.append(f"  core pc={self.core.pc}/{len(self.core.items)}")
-        lines.append(
-            f"  dispatcher queue={[t.label for t in self.dispatcher.queue]}"
-        )
-        for name, engine in self.engines.items():
-            active = [type(s.command).__name__ for s in engine.streams]
-            lines.append(f"  {name}: {active}")
-        for kind, ports in (
-            ("in", self.input_ports),
-            ("out", self.output_ports),
-            ("ind", self.indirect_ports),
-        ):
-            occupancy = {
-                pid: (p.occupancy, p.reserved)
-                for pid, p in ports.items()
-                if p.occupancy or p.reserved
-            }
-            if occupancy:
-                lines.append(f"  {kind} ports (occ, reserved): {occupancy}")
-        if self.cgra is not None:
-            lines.append(f"  cgra in_flight={self.cgra.in_flight}")
-        return "\n".join(lines)
+    def _fail(self, exc: SimError) -> SimError:
+        """Annotate an escaping failure with context and a crash dump.
+
+        Imported lazily so the zero-fault, no-failure fast path never pays
+        for the diagnostics machinery.
+        """
+        from ..resilience.report import build_failure_report
+
+        if exc.program_name is None:
+            exc.program_name = self.program.name
+        if exc.cycle is None:
+            exc.cycle = self.cycle
+        if exc.report is None:
+            exc.report = build_failure_report(self, exc)
+            message = exc.args[0] if exc.args else type(exc).__name__
+            exc.args = (f"{message}\n{exc.report.render()}",)
+        return exc
 
 
 def run_program(
@@ -355,12 +367,15 @@ def run_program(
     memory: Optional[MemorySystem] = None,
     params: Optional[SoftbrainParams] = None,
     trace: Optional[TraceSink] = None,
+    faults: Optional["FaultInjector"] = None,  # noqa: F821
 ) -> RunResult:
     """Simulate a stream program on one Softbrain unit.
 
     ``trace`` attaches a :class:`repro.trace.TraceSink`; the caller owns
-    the sink's lifetime (call ``sink.close()`` after the run).
+    the sink's lifetime (call ``sink.close()`` after the run).  ``faults``
+    attaches a :class:`repro.resilience.FaultInjector` whose planned
+    faults fire at their chosen cycles (``docs/RESILIENCE.md``).
     """
     sim = SoftbrainSim(program, fabric=fabric, memory=memory, params=params,
-                       trace=trace)
+                       trace=trace, faults=faults)
     return sim.run()

@@ -44,6 +44,7 @@ from ..core.isa.commands import (
 )
 from ..core.isa.patterns import LINE_BYTES, LineRequest, affine_requests
 from ..trace import TraceEvent
+from .errors import StreamTableError
 from .stats import CommandTrace
 from .vector_port import VectorPortState
 
@@ -97,7 +98,7 @@ class StreamEngineBase:
 
     def accept(self, command: Command, trace: CommandTrace) -> None:
         if not self.has_free_slot():
-            raise RuntimeError(f"{self.name}: stream table full")
+            raise StreamTableError(f"{self.name}: stream table full")
         self.streams.append(self._make_stream(command, trace))
 
     def _make_stream(self, command: Command, trace: CommandTrace) -> ActiveStream:
@@ -124,6 +125,18 @@ class StreamEngineBase:
                 {"index": stream.trace.index, "command": stream.trace.label},
             ))
 
+    def _fault_stalled(self, cycle: int) -> bool:
+        """True while an injected ``engine.stall`` fault freezes this
+        engine; schedules a wake-up so fast-forward still works."""
+        injector = self.sim.faults
+        if injector is None or cycle < injector.engine_stall_at:
+            return False
+        until = injector.engine_stall_until(self.name, cycle)
+        if until > cycle:
+            self.sim.schedule(until, None)
+            return True
+        return False
+
     def _drain_pending(self, stream: ActiveStream, cycle: int) -> bool:
         """Push in-order deliveries whose data has arrived.  True if any.
 
@@ -132,9 +145,21 @@ class StreamEngineBase:
         requests"), decoupling port depth from memory latency.
         """
         progressed = False
+        injector = self.sim.faults
         while stream.pending and stream.pending[0][0] <= cycle:
-            _, words, dest = stream.pending[0]
+            ready_at, words, dest = stream.pending[0]
             if dest is not None:
+                if (injector is not None and words
+                        and cycle >= injector.port_drop_at):
+                    port_name = (f"{dest.spec.direction}"
+                                 f"{dest.spec.port_id}")
+                    dropped = injector.drop_port_words(
+                        cycle, port_name, words)
+                    if dropped is not words:
+                        # persist the loss: the retried delivery must not
+                        # resurrect the dropped word
+                        words = dropped
+                        stream.pending[0] = (ready_at, words, dest)
                 if dest.free_words < len(words):
                     break
                 dest.push(words, reserved=False)
@@ -239,6 +264,8 @@ class MemReadEngine(StreamEngineBase):
         return port.occupancy + port.reserved
 
     def tick(self, cycle: int) -> bool:
+        if self._fault_stalled(cycle):
+            return False
         progressed = False
         owners = self._delivery_owners()
         for stream in list(self.streams):
@@ -294,6 +321,9 @@ class MemReadEngine(StreamEngineBase):
                 memory.store.read_extended(addr, request.elem_bytes, signed)
                 for addr in request.element_addrs
             ]
+            injector = self.sim.faults
+            if injector is not None and cycle >= injector.mem_corrupt_at:
+                words = injector.corrupt_read(cycle, words)
             stream.pending.append((ready, words, port))
             self.sim.schedule(ready, None)
             stream.advance_request()
@@ -336,6 +366,9 @@ class MemReadEngine(StreamEngineBase):
                 memory.store.read_extended(addr, command.elem_bytes, command.signed)
                 for addr in addrs
             ]
+            injector = self.sim.faults
+            if injector is not None and cycle >= injector.mem_corrupt_at:
+                words = injector.corrupt_read(cycle, words)
             stream.pending.append((ready, words, dest))
             self.sim.schedule(ready, None)
             stream.elements_left -= len(addrs)
@@ -370,6 +403,8 @@ class MemWriteEngine(StreamEngineBase):
         return stream
 
     def tick(self, cycle: int) -> bool:
+        if self._fault_stalled(cycle):
+            return False
         progressed = False
         for stream in list(self.streams):
             if self._drain_pending(stream, cycle):
@@ -483,6 +518,8 @@ class ScratchEngine(StreamEngineBase):
         return stream
 
     def tick(self, cycle: int) -> bool:
+        if self._fault_stalled(cycle):
+            return False
         progressed = False
         for stream in list(self.streams):
             if self._drain_pending(stream, cycle):
@@ -580,6 +617,8 @@ class RecurrenceEngine(StreamEngineBase):
         return stream
 
     def tick(self, cycle: int) -> bool:
+        if self._fault_stalled(cycle):
+            return False
         progressed = False
         for stream in list(self.streams):
             if stream.elements_left == 0:

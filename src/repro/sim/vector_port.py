@@ -13,10 +13,9 @@ from collections import deque
 from typing import Deque, List
 
 from ..cgra.fabric import HwVectorPort
+from .errors import PortRuntimeError
 
-
-class PortRuntimeError(RuntimeError):
-    """FIFO protocol violation (overflow/underflow) — a simulator bug."""
+__all__ = ["PortRuntimeError", "VectorPortState"]
 
 
 class VectorPortState:

@@ -33,6 +33,7 @@ from .sinks import (
     ListSink,
     NULL_SINK,
     NullSink,
+    RingSink,
     TeeSink,
     TraceSink,
     sink_for_path,
@@ -49,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SINK",
     "NullSink",
+    "RingSink",
     "SHARED_UNIT",
     "TeeSink",
     "TraceEvent",

@@ -187,6 +187,15 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             address="configuration image address",
             dfg="name of the installed DFG",
         ),
+        _schema(
+            "fault.inject",
+            "FaultInjector",
+            "An injected fault fired (fault-injection runs only; see "
+            "docs/RESILIENCE.md).",
+            fault="fault class, e.g. 'mem.delay', 'cgra.bitflip'",
+            target="component/port the fault hit ('' when class-global)",
+            detail="class-specific description of the mutation",
+        ),
     ]
 }
 

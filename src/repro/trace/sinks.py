@@ -12,12 +12,15 @@ default :class:`NullSink` costs one attribute test per would-be event and
 * :class:`ChromeTraceSink` — Chrome ``chrome://tracing`` / Perfetto JSON,
   for interactive timeline inspection.
 * :class:`TeeSink` — fan-out, e.g. metrics + file in one run.
+* :class:`RingSink` — bounded last-N buffer; feeds the trace tail of a
+  :class:`repro.resilience.FailureReport` crash dump.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Optional, Tuple, Union
+from collections import deque
+from typing import IO, Any, Deque, Dict, List, Optional, Tuple, Union
 
 from .events import SHARED_UNIT, TraceEvent
 
@@ -62,6 +65,24 @@ class ListSink(TraceSink):
         self.emit = self.events.append  # type: ignore[assignment]
 
 
+class RingSink(TraceSink):
+    """Keep only the most recent ``capacity`` events (a flight recorder).
+
+    Unbounded runs stay bounded-memory; on failure the retained tail is
+    what :func:`repro.resilience.report.build_failure_report` embeds in
+    the crash dump.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.emit = self._ring.append  # type: ignore[assignment]
+
+    def tail_events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+
 class TeeSink(TraceSink):
     """Fan one event stream out to several sinks."""
 
@@ -72,6 +93,14 @@ class TeeSink(TraceSink):
     def emit(self, event: TraceEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def tail_events(self) -> List[TraceEvent]:
+        """Delegate to the first member sink that keeps a tail."""
+        for sink in self.sinks:
+            tail = getattr(sink, "tail_events", None)
+            if tail is not None:
+                return tail()
+        return []
 
     def close(self) -> None:
         for sink in self.sinks:

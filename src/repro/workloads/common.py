@@ -100,6 +100,7 @@ def run_and_verify(
     params: Optional[SoftbrainParams] = None,
     trace: Optional[TraceSink] = None,
     rng: RngLike = None,
+    faults=None,
 ) -> RunResult:
     """Simulate a built workload and check its outputs; returns the result.
 
@@ -111,10 +112,14 @@ def run_and_verify(
     that declare an ``rng`` parameter — randomised checking stays
     deterministic under an injected generator instead of mutating the
     module-level ``random`` state.
+
+    ``faults`` forwards a :class:`repro.resilience.FaultInjector` — the
+    fault campaign and ``fuzz --faults`` run workloads under injected
+    faults through this same entry point.
     """
     result = run_program(
         built.program, fabric=built.fabric, memory=built.memory, params=params,
-        trace=trace,
+        trace=trace, faults=faults,
     )
     if _accepts_rng(built.verify):
         built.verify(built.memory, rng=coerce_rng(rng))
