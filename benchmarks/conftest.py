@@ -3,16 +3,21 @@
 The MachSuite comparison (simulate 8 workloads + 20-point ASIC sweeps) is
 the expensive step behind Figures 12-15; it runs once per session and the
 four figure benchmarks derive their series from the cached rows.  Every
-benchmark appends its rendered table to ``benchmarks/results.txt`` so a
-full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
-reproduction of the paper's evaluation on disk.
+benchmark appends its rendered table to a per-session
+``benchmarks/results-<timestamp>.txt`` (gitignored) so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete
+reproduction of the paper's evaluation on disk without clobbering the
+previous run's results.
 """
 
 import pathlib
+import time
 
 import pytest
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+RESULTS_PATH = pathlib.Path(__file__).parent / (
+    "results-" + time.strftime("%Y%m%d-%H%M%S") + ".txt"
+)
 
 
 @pytest.fixture(scope="session")
@@ -33,6 +38,7 @@ def dnn_rows():
 def _fresh_results_file():
     RESULTS_PATH.write_text("")
     yield
+    print(f"\nbenchmark tables written to {RESULTS_PATH}")
 
 
 def record(title: str, text: str) -> None:

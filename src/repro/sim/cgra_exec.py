@@ -18,18 +18,114 @@ from typing import Dict, List, Tuple
 from ..core.compiler.config import CgraConfig
 from ..core.dfg.graph import Constant, Dfg
 from ..core.dfg.instructions import (
+    ACCUMULATOR_OPS,
+    WORD_BITS,
+    WORD_MASK,
     accumulate_combine,
     accumulator_identity,
+    get_operation,
     mask_word,
 )
 from ..trace import TraceEvent
 from .vector_port import VectorPortState
 
 
-class CompiledDfg:
-    """Index-flattened executor for one DFG (much faster than Dfg.execute)."""
+def _compile_step(op, lane_bits, operand_spec, out_idx, acc_slot, identity):
+    """Specialise one DFG step into a closure (fast path only).
 
-    def __init__(self, dfg: Dfg) -> None:
+    The closures replicate :meth:`Operation.evaluate` /
+    :func:`accumulate_combine` arithmetic exactly — same ``to_signed`` /
+    ``from_signed`` lane math — just without per-call validation, lane
+    splitting into lists, or operand-list allocation.  Bit-identical
+    output is enforced by tests/test_property_fastpath.py.
+    """
+    lane_mask = (1 << lane_bits) - 1
+    sign = 1 << (lane_bits - 1)
+    shifts = tuple(range(0, WORD_BITS, lane_bits))
+
+    if acc_slot >= 0:
+        combine = get_operation(ACCUMULATOR_OPS[op.name]).lane_fn
+        (value_const, value_ref), (reset_const, reset_ref) = operand_spec
+
+        def step(values, state):
+            value = value_ref if value_const else values[value_ref]
+            reset = reset_ref if reset_const else values[reset_ref]
+            current = state[acc_slot] & WORD_MASK
+            value &= WORD_MASK
+            word = 0
+            for shift in shifts:
+                a = (((current >> shift) & lane_mask) ^ sign) - sign
+                b = (((value >> shift) & lane_mask) ^ sign) - sign
+                word |= (combine(a, b) & lane_mask) << shift
+            values[out_idx] = word
+            state[acc_slot] = identity if reset else word
+
+        return step
+
+    fn = op.lane_fn
+    if op.whole_word:
+
+        def step(values, state):
+            args = [
+                (v if c else values[v]) & WORD_MASK for c, v in operand_spec
+            ]
+            values[out_idx] = fn(*args, lane_bits) & WORD_MASK
+
+        return step
+
+    if len(operand_spec) == 1:
+        (const0, ref0), = operand_spec
+
+        def step(values, state):
+            word0 = (ref0 if const0 else values[ref0]) & WORD_MASK
+            word = 0
+            for shift in shifts:
+                a = (((word0 >> shift) & lane_mask) ^ sign) - sign
+                word |= (fn(a) & lane_mask) << shift
+            values[out_idx] = word
+
+        return step
+
+    if len(operand_spec) == 2:
+        (const0, ref0), (const1, ref1) = operand_spec
+
+        def step(values, state):
+            word0 = (ref0 if const0 else values[ref0]) & WORD_MASK
+            word1 = (ref1 if const1 else values[ref1]) & WORD_MASK
+            word = 0
+            for shift in shifts:
+                a = (((word0 >> shift) & lane_mask) ^ sign) - sign
+                b = (((word1 >> shift) & lane_mask) ^ sign) - sign
+                word |= (fn(a, b) & lane_mask) << shift
+            values[out_idx] = word
+
+        return step
+
+    def step(values, state):
+        words = [
+            (v if c else values[v]) & WORD_MASK for c, v in operand_spec
+        ]
+        word = 0
+        for shift in shifts:
+            lanes = [
+                (((w >> shift) & lane_mask) ^ sign) - sign for w in words
+            ]
+            word |= (fn(*lanes) & lane_mask) << shift
+        values[out_idx] = word
+
+    return step
+
+
+class CompiledDfg:
+    """Index-flattened executor for one DFG (much faster than Dfg.execute).
+
+    With ``specialize=True`` (fast path) each step additionally gets a
+    precompiled closure; :meth:`run` then avoids the generic
+    :meth:`Operation.evaluate` machinery while producing bit-identical
+    results.
+    """
+
+    def __init__(self, dfg: Dfg, specialize: bool = False) -> None:
         self.dfg = dfg
         index: Dict[Tuple[str, int], int] = {}
         self.input_slots: List[Tuple[str, int, int]] = []  # (port, lane, idx)
@@ -67,6 +163,17 @@ class CompiledDfg:
             for name, port in dfg.outputs.items()
         ]
 
+        self._fast_steps = None
+        if specialize:
+            self._fast_steps = [
+                _compile_step(
+                    op, lane_bits, operand_spec, out_idx, acc_slot,
+                    self.acc_identity[acc_slot] if acc_slot >= 0 else 0,
+                )
+                for op, lane_bits, operand_spec, out_idx, acc_slot
+                in self.steps
+            ]
+
     def make_state(self) -> List[int]:
         return list(self.acc_identity)
 
@@ -77,6 +184,13 @@ class CompiledDfg:
         values = [0] * self.num_values
         for port_name, lane, idx in self.input_slots:
             values[idx] = inputs[port_name][lane]
+        if self._fast_steps is not None:
+            for step in self._fast_steps:
+                step(values, state)
+            return {
+                name: [values[i] for i in slots]
+                for name, slots in self.output_slots
+            }
         for op, lane_bits, operand_spec, out_idx, acc_slot in self.steps:
             operands = [
                 const if is_const else values[const]
@@ -104,7 +218,9 @@ class CgraExecutor:
     def __init__(self, sim: "SoftbrainSim", config: CgraConfig) -> None:  # noqa: F821
         self.sim = sim
         self.config = config
-        self.compiled = CompiledDfg(config.dfg)
+        self.compiled = CompiledDfg(
+            config.dfg, specialize=getattr(sim, "fast_path_on", False)
+        )
         self.state = self.compiled.make_state()
         self.in_flight = 0
 

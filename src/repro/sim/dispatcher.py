@@ -49,6 +49,14 @@ class Dispatcher:
         self.queue: Deque[CommandTrace] = deque()
         self.busy_ports: Dict[Tuple[str, int], int] = {}
         self.issued_total = 0
+        # Fast-path scan cache: a full scan that issued nothing is valid
+        # until sim.dispatch_version changes (enqueue / port release /
+        # stream completion / config apply).  "quiesce" verdicts also
+        # depend on sim.quiesced(), which changes without a version bump,
+        # so they re-check only that predicate per cycle.
+        self._cache_version = -1
+        self._cache_kind = ""  # "hard" | "quiesce"
+        self._used_quiesce = False
 
     # -- core-facing interface ---------------------------------------------------
 
@@ -68,6 +76,7 @@ class Dispatcher:
             return None
         trace = self.sim.timeline.note_enqueue(command, cycle)
         self.queue.append(trace)
+        self.sim.dispatch_version += 1
         sink = self.sim.trace
         if sink.enabled:
             sink.emit(TraceEvent(
@@ -98,6 +107,15 @@ class Dispatcher:
         if self.sim.config_pending:
             return False  # reconfiguration in flight orders everything
 
+        use_cache = self.sim.fast_path_on
+        if use_cache and self._cache_version == self.sim.dispatch_version:
+            # Nothing the scan depends on changed since it last came up
+            # empty; "quiesce" verdicts must still watch the one predicate
+            # that moves without a version bump.
+            if self._cache_kind == "hard" or not self.sim.quiesced():
+                return False
+
+        self._used_quiesce = False
         blocked: Set[Tuple[str, int]] = set()
         for position, trace in enumerate(self.queue):
             command = trace.command
@@ -116,10 +134,10 @@ class Dispatcher:
                         "barrier.wait", cycle, self.sim.unit, "dispatcher",
                         {"index": trace.index, "command": trace.label},
                     ))
-                return False  # nothing may pass a pending barrier
+                return self._blocked()  # nothing may pass a pending barrier
 
             if isinstance(command, SDConfig) and not self._resources_free(command):
-                return False  # nothing may pass a pending reconfiguration
+                return self._blocked()  # nothing passes a reconfiguration
 
             ports = {
                 (p.kind, p.port_id, role) for p, role in port_uses(command)
@@ -148,6 +166,13 @@ class Dispatcher:
             self.issued_total += 1
             self.sim.stats.commands_issued += 1
             return True
+        return self._blocked()
+
+    def _blocked(self) -> bool:
+        """Record that a full scan issued nothing (fast-path cache)."""
+        if self.sim.fast_path_on:
+            self._cache_version = self.sim.dispatch_version
+            self._cache_kind = "quiesce" if self._used_quiesce else "hard"
         return False
 
     def _trace_barrier_release(self, sink, trace: CommandTrace,
@@ -175,6 +200,7 @@ class Dispatcher:
         if isinstance(command, SDConfig):
             # Reconfiguration must wait until the whole unit quiesces: the
             # port mapping and datapath are about to change.
+            self._used_quiesce = True
             return self.sim.quiesced()
         return True
 
@@ -184,11 +210,13 @@ class Dispatcher:
         if isinstance(command, SDBarrierScratchWr):
             return self.sim.outstanding["scratch_wr"] == 0
         assert isinstance(command, SDBarrierAll)
+        self._used_quiesce = True
         return self.sim.quiesced()
 
     # -- completion callbacks ---------------------------------------------------------
 
     def release_port(self, kind: str, port_id: int, role: str) -> None:
+        self.sim.dispatch_version += 1
         key = (kind, port_id, role)
         count = self.busy_ports.get(key, 0)
         if count <= 1:

@@ -83,6 +83,26 @@ class Scratchpad:
             ))
         self._data[addr : addr + len(data)] = data
 
+    def read_elements(self, addrs, size: int, signed: bool):
+        """Batched :meth:`read_extended` over same-size elements.
+
+        Bulk-updates the access counters by exactly what the per-element
+        calls would have added, so :class:`ScratchpadStats` stays
+        bit-identical.  Emits no trace events — callers use this only on
+        untraced fast-path runs (``sim.fast_path_on``).
+        """
+        for addr in addrs:
+            self._check(addr, size)
+        n = len(addrs)
+        self.stats.reads += n
+        self.stats.bytes_read += n * size
+        data = self._data
+        return [
+            int.from_bytes(data[addr:addr + size], "little", signed=signed)
+            & 0xFFFF_FFFF_FFFF_FFFF
+            for addr in addrs
+        ]
+
     def snapshot(self) -> bytes:
         """The full scratchpad image, without touching the access stats
         (used for end-state comparison by tests and the fuzz oracle)."""

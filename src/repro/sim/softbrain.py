@@ -44,6 +44,7 @@ from ..cgra.fabric import Fabric, dnn_provisioned
 from ..core.isa.commands import (
     Command,
     PortRef,
+    SDBarrierAll,
     SDConfig,
     SDMemScratch,
     SDPortScratch,
@@ -86,6 +87,13 @@ class SoftbrainParams:
     all_requests_in_flight: bool = True
     #: stepped cycles between ``port.sample`` trace events (traced runs only)
     trace_sample_interval: int = 64
+    #: batched fast-path execution (docs/PERFORMANCE.md): burst-issue
+    #: affine streams, cache empty dispatcher scans and specialise the
+    #: compiled DFG.  A pure optimisation — cycles, stats and memory
+    #: images are bit-identical to ``fast_path=False`` (enforced by
+    #: tests/test_golden_stats.py and tests/test_property_fastpath.py).
+    #: Automatically disabled while tracing or fault injection is active.
+    fast_path: bool = True
 
 
 @dataclass
@@ -153,6 +161,17 @@ class SoftbrainSim:
             "sse": ScratchEngine(self, self.params.stream_table_size),
             "rse": RecurrenceEngine(self, self.params.stream_table_size),
         }
+        self._engine_list = list(self.engines.values())
+        #: fast path active for this run?  Tracing needs the per-cycle
+        #: event emissions and fault hooks need every slow-path call site,
+        #: so either one forces the reference path.
+        self.fast_path_on = (
+            self.params.fast_path and not self.trace.enabled
+            and faults is None
+        )
+        #: bumped whenever anything a dispatcher scan depends on changes
+        self.dispatch_version = 0
+        self.memory.register_unit()
         self.dispatcher = Dispatcher(self)
         self.core = ControlCore(self, program.items)
         self.cgra: Optional[CgraExecutor] = None
@@ -195,6 +214,7 @@ class SoftbrainSim:
     def stream_completed(self, stream: ActiveStream, cycle: int) -> None:
         command = stream.command
         stream.trace.completed = cycle
+        self.dispatch_version += 1
         if self.trace.enabled:
             self.trace.emit(TraceEvent(
                 "command.complete", cycle, self.unit, "dispatcher",
@@ -228,11 +248,55 @@ class SoftbrainSim:
             )
         self.cgra = CgraExecutor(self, image)
         self.config_pending = False
+        self.dispatch_version += 1
         if self.trace.enabled:
             self.trace.emit(TraceEvent(
                 "config.apply", self.cycle, self.unit, "softbrain",
                 {"address": address, "dfg": image.dfg.name},
             ))
+
+    # -- fast-path predicates (docs/PERFORMANCE.md) ------------------------------
+
+    def dispatch_frozen_for(self, engines) -> bool:
+        """No command targeting ``engines`` can leave the queue soon.
+
+        A burst window is only legal while the set of streams competing
+        for its resources cannot change.  That holds when (a) the core
+        cannot enqueue anything new — it has finished, or an
+        ``SD_Barrier_All`` already in the queue freezes it — and (b) no
+        queued command targets one of ``engines``.
+        """
+        queue = self.dispatcher.queue
+        if not self.core.finished and not any(
+            isinstance(t.command, SDBarrierAll) for t in queue
+        ):
+            return False
+        for trace in queue:
+            if trace.command.engine in engines:
+                return False
+        return True
+
+    def quiet_for_burst(self, engine) -> bool:
+        """True when skipping this cycle is invisible outside ``engine``.
+
+        Used by a bursting engine to decide whether the main loop may
+        fast-forward over the rest of its window: every other component
+        must be provably unable to act *or to count a stall* this cycle.
+        """
+        if not self.core.finished or self.dispatcher.queue:
+            return False
+        for other in self._engine_list:
+            if other is not engine and other.streams:
+                return False
+        cgra = self.cgra
+        if cgra is not None:
+            inputs = cgra.inputs
+            if not inputs:
+                return False  # a sourceless DFG would fire every cycle
+            for _, _width, port in inputs:
+                if port.fifo:
+                    return False  # visible stall counting (or a firing)
+        return True
 
     def quiesced(self) -> bool:
         """All issued work is complete (used by SD_Barrier_All and config)."""
@@ -265,9 +329,16 @@ class SoftbrainSim:
             progress = True
         if self.dispatcher.tick(cycle):
             progress = True
-        for engine in self.engines.values():
-            if engine.tick(cycle):
-                progress = True
+        if self.fast_path_on:
+            # An engine with an empty stream table cannot progress and has
+            # no per-cycle side effects; skip its tick entirely.
+            for engine in self._engine_list:
+                if engine.streams and engine.tick(cycle):
+                    progress = True
+        else:
+            for engine in self._engine_list:
+                if engine.tick(cycle):
+                    progress = True
         if self.cgra is not None and self.cgra.tick(cycle):
             progress = True
         if self.trace.enabled and cycle >= self._next_port_sample:

@@ -73,13 +73,19 @@ class VectorPortState:
         return len(self.fifo) >= nwords
 
     def pop_words(self, nwords: int) -> List[int]:
-        if not self.can_pop(nwords):
+        fifo = self.fifo
+        if len(fifo) < nwords:
             raise PortRuntimeError(
                 f"port {self.spec.direction}{self.spec.port_id}: pop "
-                f"{nwords} > occupancy {len(self.fifo)}"
+                f"{nwords} > occupancy {len(fifo)}"
             )
         self.total_popped += nwords
-        return [self.fifo.popleft() for _ in range(nwords)]
+        if nwords == len(fifo):  # common full-drain case: one bulk copy
+            words = list(fifo)
+            fifo.clear()
+            return words
+        popleft = fifo.popleft
+        return [popleft() for _ in range(nwords)]
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,23 @@
+"""Shared test options.
+
+``--update-golden`` regenerates the checked-in golden-stats files used by
+``test_golden_stats.py`` (see docs/PERFORMANCE.md for the workflow):
+
+    PYTHONPATH=src python -m pytest tests/test_golden_stats.py \
+        --update-golden -q
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current simulator "
+             "instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,77 @@
+"""Golden-stats regression suite: every workload, both execution modes.
+
+Each workload in ``repro.workloads`` (the full MachSuite port and every
+DNN layer) runs through the simulator twice — batched fast path and
+per-cycle slow path — and the complete observable fingerprint (SimStats,
+memory traffic, scratchpad traffic, command timeline) must:
+
+1. match *between the two modes* bit-for-bit (the fast path is a pure
+   optimisation — docs/PERFORMANCE.md), and
+2. match the checked-in golden JSON under ``tests/golden/`` (the
+   regression lock: any change to simulator timing shows up as a diff
+   here and must be re-blessed with ``--update-golden``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sim.softbrain import SoftbrainParams
+from repro.workloads import run_and_verify
+from repro.workloads.dnn import DNN_LAYERS, build_dnn_layer
+from repro.workloads.machsuite import MACHSUITE
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def fingerprint(result):
+    """Everything a simulation observably produced, as JSON-stable data."""
+    return {
+        "stats": result.stats.to_dict(),
+        "memory": dict(sorted(vars(result.memory.stats).items())),
+        "scratchpad": dict(sorted(vars(result.scratchpad.stats).items())),
+        "timeline": [
+            [t.index, t.enqueued, t.dispatched, t.completed]
+            for t in result.timeline
+        ],
+    }
+
+
+def _machsuite_case(name):
+    build = MACHSUITE[name][0]
+    return lambda: build()
+
+
+def _dnn_case(layer):
+    return lambda: build_dnn_layer(layer)
+
+
+CASES = [(f"machsuite-{name}", _machsuite_case(name)) for name in MACHSUITE]
+CASES += [(f"dnn-{layer.name}", _dnn_case(layer)) for layer in DNN_LAYERS]
+
+
+@pytest.mark.parametrize(
+    "name,make", CASES, ids=[name for name, _ in CASES]
+)
+def test_golden_stats(name, make, update_golden):
+    fast = run_and_verify(make(), params=SoftbrainParams(fast_path=True))
+    slow = run_and_verify(make(), params=SoftbrainParams(fast_path=False))
+    got = fingerprint(fast)
+
+    # Mode equivalence first: a divergence here is a fast-path bug even
+    # if both modes moved away from the golden file together.
+    assert got == fingerprint(slow), (
+        f"{name}: fast path diverged from slow path")
+
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(got, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden file for {name}; run pytest with --update-golden")
+    golden = json.loads(path.read_text())
+    assert got == golden, (
+        f"{name}: stats drifted from tests/golden/{name}.json — if the "
+        f"timing change is intended, re-bless with --update-golden")
